@@ -1,0 +1,40 @@
+"""Ablation 1 (DESIGN.md §5) — where consistency maintenance happens.
+
+Compares, on the *same* IS computation at the same barrier count, the
+consistency-maintaining centralised barrier (LRC_d) against the
+synchronisation-only barrier plus distributed view maintenance (VC_d): the
+per-barrier cost gap and its growth with the processor count is the paper's
+central claim (§3.3: "Maintaining consistency in barriers is a centralized
+way ... and becomes time-consuming when the number of processors increases").
+"""
+
+from repro.apps import is_sort
+from repro.apps.common import run_app
+from benchmarks.conftest import attach, run_once
+
+PROCS = (8, 16, 32)
+
+
+def test_ablation_barrier_consistency(benchmark):
+    def experiment():
+        rows = {}
+        for p in PROCS:
+            lrc = run_app(is_sort, "lrc_d", p)
+            vc = run_app(is_sort, "vc_d", p)
+            rows[p] = (lrc.stats.barrier_time_avg, vc.stats.barrier_time_avg)
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    lines = ["Ablation: barrier consistency placement (IS)"]
+    lines.append(f"  {'procs':>6}{'LRC barrier (us)':>20}{'VC barrier (us)':>20}{'ratio':>8}")
+    for p, (lrc_bt, vc_bt) in rows.items():
+        lines.append(
+            f"  {p:>6}{lrc_bt*1e6:>20,.0f}{vc_bt*1e6:>20,.0f}{lrc_bt/vc_bt:>8.1f}"
+        )
+    attach(benchmark, "\n".join(lines), {f"ratio@{p}": r[0] / r[1] for p, r in rows.items()})
+
+    # consistency-maintaining barriers are always costlier ...
+    for p, (lrc_bt, vc_bt) in rows.items():
+        assert lrc_bt > vc_bt, f"LRC barrier must cost more at {p}p"
+    # ... and the centralisation penalty grows with the processor count
+    assert rows[32][0] / rows[32][1] > rows[8][0] / rows[8][1]

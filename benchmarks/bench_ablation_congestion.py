@@ -1,0 +1,50 @@
+"""Extra ablation — receive-buffer size vs retransmissions.
+
+The paper attributes LRC_d's extra retransmissions to centralised traffic
+bursts.  Sweeping the receiver buffer size shows the mechanism directly:
+small buffers punish LRC_d's convergent diff-reply bursts with drops and
+1-second retransmission waits, while VC_sd's point-to-point view traffic is
+almost immune.
+"""
+
+from repro.apps import is_sort
+from repro.apps.common import run_app
+from repro.net.config import NetConfig
+from benchmarks.conftest import attach, run_once
+
+NPROCS = 16
+BUFFERS = (32 * 1024, 128 * 1024, 512 * 1024)
+
+
+def _netcfg(buf: int) -> NetConfig:
+    return NetConfig(recv_buffer_bytes=buf, red_threshold_bytes=buf * 5 // 8)
+
+
+def test_ablation_congestion(benchmark):
+    def experiment():
+        rows = {}
+        for buf in BUFFERS:
+            lrc = run_app(is_sort, "lrc_d", NPROCS, netcfg=_netcfg(buf))
+            sd = run_app(is_sort, "vc_sd", NPROCS, netcfg=_netcfg(buf))
+            rows[buf] = (lrc.stats, sd.stats)
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    lines = ["Ablation: receive buffer vs rexmit (IS, 16p)"]
+    lines.append(f"  {'buffer':>10}{'LRC rexmit':>12}{'LRC time':>10}{'VC_sd rexmit':>14}{'VC_sd time':>12}")
+    for buf, (lrc, sd) in rows.items():
+        lines.append(
+            f"  {buf//1024:>8}KB{lrc.net.rexmit:>12,}{lrc.time:>10.2f}"
+            f"{sd.net.rexmit:>14,}{sd.time:>12.2f}"
+        )
+    attach(benchmark, "\n".join(lines), {f"lrc_rexmit@{b}": rows[b][0].net.rexmit for b in BUFFERS})
+
+    small, large = rows[BUFFERS[0]], rows[BUFFERS[-1]]
+    # LRC's losses are congestion losses: shrinking the buffer multiplies
+    # them, growing it towards the burst size removes them
+    assert small[0].net.rexmit > large[0].net.rexmit
+    # VC_sd's distributed traffic stays (nearly) loss-free throughout
+    for buf, (lrc, sd) in rows.items():
+        assert sd.net.rexmit <= lrc.net.rexmit
+    # and the loss translates into time
+    assert small[0].time > large[0].time

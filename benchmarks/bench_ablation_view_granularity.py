@@ -1,0 +1,43 @@
+"""Ablation 4 (DESIGN.md §5) — view granularity (the §3.6 rule of thumb).
+
+"The more views are acquired, the more messages there are in the system; and
+the larger a view is, the more data traffic is caused in the system when the
+view is acquired."  Sweeping IS's bucket-view count shows both arms: one big
+view minimises messages but serialises all processors and maximises per-
+acquire data; many small views raise the message count but run concurrently.
+"""
+
+from repro.apps import is_sort
+from repro.apps.common import run_app
+from benchmarks.conftest import attach, run_once
+
+NPROCS = 16
+SPLITS = (1, 4, 16, 64)
+
+
+def test_ablation_view_granularity(benchmark):
+    def experiment():
+        results = {}
+        for v in SPLITS:
+            config = is_sort.IsConfig(bucket_views=v)
+            results[v] = run_app(is_sort, "vc_sd", NPROCS, config)
+        return results
+
+    results = run_once(benchmark, experiment)
+    lines = [f"Ablation: IS bucket views on VC_sd, {NPROCS}p (rule of thumb §3.6)"]
+    for v, r in results.items():
+        lines.append(
+            f"  {v:>3} views: acquires {r.stats.acquires:>6,}, "
+            f"msgs {r.stats.net.num_msg:>7,}, data {r.stats.net.data_bytes/1e6:7.3f} MB, "
+            f"time {r.stats.time:7.3f} s"
+        )
+    attach(benchmark, "\n".join(lines), {f"time@{v}": r.stats.time for v, r in results.items()})
+
+    assert all(r.verified for r in results.values())
+    # more views -> more acquire messages (first arm of the rule)
+    acquires = [results[v].stats.acquires for v in SPLITS]
+    assert acquires == sorted(acquires)
+    # a single big view serialises the accumulate phase: some split must
+    # beat it outright
+    t_single = results[1].stats.time
+    assert min(r.stats.time for r in results.values()) < t_single

@@ -1,0 +1,63 @@
+"""Extension — homeless vs home-based LRC vs VOPP.
+
+Beyond the paper's three systems: HLRC_d (home-based LRC, the protocol the
+authors' companion work compares against) on the same workloads.  Expected
+shape from the literature:
+
+* HLRC needs **no diff requests** (faults are one full-page fetch from the
+  home) where homeless LRC pays one request per writer;
+* HLRC pushes diffs **eagerly**, so it can move more data than homeless LRC
+  when writes are never consumed remotely, but far less protocol chatter on
+  migratory/multi-writer pages;
+* VOPP on VC_sd still beats both: the view boundary tells the DSM exactly
+  what to update, which neither LRC variant can know.
+"""
+
+from repro.apps import gauss, is_sort
+from repro.bench import format_stats_table, stats_experiment
+from repro.bench.runner import Entry
+from benchmarks.conftest import attach, run_once
+
+NPROCS = 16
+
+ENTRIES = (
+    Entry("LRC_d", "lrc_d"),
+    Entry("HLRC_d", "hlrc_d"),
+    Entry("VC_sd", "vc_sd"),
+)
+
+
+def test_extension_hlrc_is(benchmark):
+    def experiment():
+        return {
+            "is": stats_experiment(is_sort, nprocs=NPROCS, entries=ENTRIES),
+            "gauss": stats_experiment(gauss, nprocs=NPROCS, entries=ENTRIES),
+        }
+
+    results = run_once(benchmark, experiment)
+    tables = []
+    for app, res in results.items():
+        tables.append(
+            format_stats_table(
+                f"Extension: homeless vs home-based LRC vs VOPP — {app}, {NPROCS}p",
+                res,
+            )
+        )
+    attach(benchmark, "\n\n".join(tables), {
+        f"{app}_{label}": res[label].stats.time
+        for app, res in results.items()
+        for label in res
+    })
+
+    for app, res in results.items():
+        lrc, hlrc, sd = res["LRC_d"].stats, res["HLRC_d"].stats, res["VC_sd"].stats
+        assert all(r.verified for r in res.values())
+        # HLRC's defining property: zero diff requests
+        assert hlrc.diff_requests == 0
+        assert lrc.diff_requests > 0
+        # VOPP still wins end-to-end on both LRC variants
+        assert sd.time < lrc.time, app
+        assert sd.time < hlrc.time, app
+    # on Gauss (heavy false sharing) home-based beats homeless LRC: faults
+    # cost one page fetch instead of per-writer diff chains
+    assert results["gauss"]["HLRC_d"].stats.time < results["gauss"]["LRC_d"].stats.time

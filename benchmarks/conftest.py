@@ -1,0 +1,29 @@
+"""Shared helpers for the table benchmarks.
+
+Every benchmark runs the simulation once (``rounds=1``) — the interesting
+output is the *simulated* statistics table printed to stdout and attached to
+``benchmark.extra_info``, not the host wall-clock time.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark and return its result."""
+    box = {}
+
+    def target():
+        box["result"] = fn()
+
+    benchmark.pedantic(target, rounds=1, iterations=1)
+    return box["result"]
+
+
+def attach(benchmark, table: str, shapes: dict):
+    benchmark.extra_info["table"] = table
+    for key, value in shapes.items():
+        benchmark.extra_info[key] = value
+    print()
+    print(table)

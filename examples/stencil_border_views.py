@@ -1,0 +1,142 @@
+#!/usr/bin/env python
+"""Writing a stencil code in the VOPP style: border views (paper §3.3).
+
+A compact, self-contained heat-diffusion stencil (Jacobi smoothing on a 1-D
+rod) written two ways on the same VoppSystem:
+
+1. *naive*: the whole rod is one view — every iteration, every processor
+   serialises on the single view;
+2. *border views* (the paper's recipe): each processor keeps its segment in
+   a local buffer and publishes only the two boundary cells through small,
+   page-aligned border views.
+
+The example prints both versions' statistics so the rule of thumb of §3.6 is
+visible: "the larger a view is, the more data traffic is caused in the system
+when the view is acquired."
+
+Run:  python examples/stencil_border_views.py
+"""
+
+import numpy as np
+
+from repro.core import VoppSystem
+
+NPROCS = 8
+CELLS_PER_PROC = 1024  # 8 KB per segment: big enough that views matter
+ITERATIONS = 10
+
+
+def run_naive() -> dict:
+    """One big view: correct, simple — and serialised."""
+    system = VoppSystem(nprocs=NPROCS, protocol="vc_sd")
+    n = NPROCS * CELLS_PER_PROC
+    rod = system.alloc_array("rod", n, dtype="float64", page_aligned=True)
+    ROD = 0
+
+    def body(rt):
+        lo = rt.rank * CELLS_PER_PROC
+        hi = lo + CELLS_PER_PROC
+        if rt.rank == 0:
+            yield from rt.acquire_view(ROD)
+            yield from rod.write(rt, 0, np.linspace(0.0, 1.0, n))
+            yield from rt.release_view(ROD)
+        yield from rt.barrier()
+        for _ in range(ITERATIONS):
+            yield from rt.acquire_view(ROD)
+            values = np.array((yield from rod.read(rt)))
+            smoothed = values.copy()
+            smoothed[max(lo, 1) : min(hi, n - 1)] = 0.5 * (
+                values[max(lo, 1) - 1 : min(hi, n - 1) - 1]
+                + values[max(lo, 1) + 1 : min(hi, n - 1) + 1]
+            )
+            yield from rod.write(rt, lo, smoothed[lo:hi])
+            yield from rt.release_view(ROD)
+            yield from rt.barrier()
+        return None
+
+    system.run_program(body)
+    return system.stats.table_row()
+
+
+def run_border_views() -> dict:
+    """The §3.3 recipe: local buffers + tiny border views (double-buffered)."""
+    system = VoppSystem(nprocs=NPROCS, protocol="vc_sd")
+    n = NPROCS * CELLS_PER_PROC
+    segments = [
+        system.alloc_array(f"seg{q}", CELLS_PER_PROC, dtype="float64", page_aligned=True)
+        for q in range(NPROCS)
+    ]
+    # two boundary cells per processor per parity
+    edges = [
+        [system.alloc_array(f"edge{q}_{j}", 2, dtype="float64", page_aligned=True) for j in range(2)]
+        for q in range(NPROCS)
+    ]
+    SEG, EDGE = 0, NPROCS  # view ids: EDGE + 2q + parity
+
+    def body(rt):
+        p = rt.rank
+        lo = p * CELLS_PER_PROC
+        if p == 0:
+            init = np.linspace(0.0, 1.0, n)
+            for q in range(NPROCS):
+                yield from rt.acquire_view(SEG + q)
+                yield from segments[q].write(rt, 0, init[q * CELLS_PER_PROC : (q + 1) * CELLS_PER_PROC])
+                yield from rt.release_view(SEG + q)
+        yield from rt.barrier()
+        yield from rt.acquire_Rview(SEG + p)
+        local = np.array((yield from segments[p].read(rt)))
+        yield from rt.release_Rview(SEG + p)
+        yield from rt.acquire_view(EDGE + 2 * p)
+        yield from edges[p][0].write(rt, 0, [local[0], local[-1]])
+        yield from rt.release_view(EDGE + 2 * p)
+        yield from rt.barrier()
+        for it in range(ITERATIONS):
+            buf, nbuf = it % 2, (it + 1) % 2
+            left = right = None
+            if p > 0:
+                yield from rt.acquire_Rview(EDGE + 2 * (p - 1) + buf)
+                left = (yield from edges[p - 1][buf].read(rt))[1]
+                yield from rt.release_Rview(EDGE + 2 * (p - 1) + buf)
+            if p < NPROCS - 1:
+                yield from rt.acquire_Rview(EDGE + 2 * (p + 1) + buf)
+                right = (yield from edges[p + 1][buf].read(rt))[0]
+                yield from rt.release_Rview(EDGE + 2 * (p + 1) + buf)
+            ghosted = np.concatenate(
+                [[left if left is not None else local[0]], local,
+                 [right if right is not None else local[-1]]]
+            )
+            smoothed = 0.5 * (ghosted[:-2] + ghosted[2:])
+            if p == 0:
+                smoothed[0] = local[0]  # fixed physical boundary
+            if p == NPROCS - 1:
+                smoothed[-1] = local[-1]
+            local = smoothed
+            yield from rt.acquire_view(EDGE + 2 * p + nbuf)
+            yield from edges[p][nbuf].write(rt, 0, [local[0], local[-1]])
+            yield from rt.release_view(EDGE + 2 * p + nbuf)
+            yield from rt.barrier()
+        yield from rt.acquire_view(SEG + p)
+        yield from segments[p].write(rt, 0, local)
+        yield from rt.release_view(SEG + p)
+        yield from rt.barrier()
+        return None
+
+    system.run_program(body)
+    return system.stats.table_row()
+
+
+def main() -> None:
+    naive = run_naive()
+    borders = run_border_views()
+    print(f"{'':<24}{'one big view':>16}{'border views':>16}")
+    for row in ("Time (Sec.)", "Acquires", "Data (MByte)", "Num. Msg"):
+        print(f"{row:<24}{naive[row]:>16}{borders[row]:>16}")
+    print()
+    print("Rule of thumb (§3.6): the larger a view, the more data each acquire")
+    print("moves — partitioning the rod into tiny border views transfers a")
+    print("fraction of the data and lets iterations run concurrently.")
+    assert borders["Data (MByte)"] < naive["Data (MByte)"]
+
+
+if __name__ == "__main__":
+    main()

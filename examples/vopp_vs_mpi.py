@@ -1,0 +1,44 @@
+#!/usr/bin/env python
+"""VOPP vs MPI on the neural-network workload (paper Table 9 in small).
+
+Trains the paper's back-propagation network with the VOPP program on VC_sd
+and with the message-passing program on the simulated MPI library, on the
+same simulated cluster model, and compares time and traffic.
+
+Run:  python examples/vopp_vs_mpi.py
+"""
+
+from repro.apps import nn
+from repro.apps.common import run_app
+
+NPROCS = 8
+
+
+def main() -> None:
+    config = nn.NnConfig(n_samples=256, epochs=10, work_factor=32.0)
+
+    vopp = run_app(nn, "vc_sd", NPROCS, config)
+    mpi = run_app(nn, "mpi", NPROCS, config)
+
+    print(f"NN training on {NPROCS} simulated processors ({config.epochs} epochs)")
+    print()
+    print(f"{'':<16}{'VOPP (VC_sd)':>16}{'MPI':>16}")
+    print(f"{'Time (Sec.)':<16}{vopp.time:>16.3f}{mpi.time:>16.3f}")
+    print(f"{'Messages':<16}{vopp.stats.net.num_msg:>16,}{mpi.stats.num_msg:>16,}")
+    print(
+        f"{'Data (MByte)':<16}{vopp.stats.net.data_bytes/1e6:>16.3f}"
+        f"{mpi.stats.data_bytes/1e6:>16.3f}"
+    )
+    print()
+    print(f"final training loss: VOPP {vopp.output['loss']:.6f}, MPI {mpi.output['loss']:.6f}")
+    print()
+    print("The paper's finding: VOPP on VC_sd is comparable with MPI at this")
+    print("scale — the view primitives tell the DSM exactly what to update, so")
+    print("shared-memory convenience no longer costs an order of magnitude.")
+    ratio = vopp.time / mpi.time
+    print(f"VOPP/MPI time ratio: {ratio:.2f}x")
+    assert vopp.verified and mpi.verified
+
+
+if __name__ == "__main__":
+    main()

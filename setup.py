@@ -1,0 +1,10 @@
+"""Legacy setuptools shim.
+
+Lets ``pip install -e .`` work on machines without the ``wheel`` package
+(modern PEP 660 editable installs need it; the legacy path does not).
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,109 @@
+"""Shared application scaffolding: configs, results, the run driver.
+
+Compute-cost modelling
+----------------------
+
+Applications charge CPU time through ``charge(rt, ops, cycles_per_op)``.
+Problem sizes are scaled down from the paper's (a 350 MHz cluster ran
+minutes-long jobs; the simulator runs in seconds), which would distort the
+compute-to-communication ratio — so each config carries a ``work_factor``
+that multiplies charged compute time by (paper size / scaled size).  Data
+*volume* (diffs, pages) uses the scaled sizes; compute time uses the paper's.
+The EXPERIMENTS.md notes record this calibration per experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Optional
+
+import numpy as np
+
+from repro.core.program import BaseSystem, make_system
+from repro.mpi import MpiSystem
+from repro.net.config import NetConfig, NodeConfig
+
+__all__ = ["AppConfig", "AppResult", "charge", "chunk_bounds", "run_app"]
+
+
+@dataclass
+class AppConfig:
+    """Base class for per-application configs."""
+
+    work_factor: float = 1.0
+
+    def charge_seconds(self, ops: float, cycles_per_op: float, cpu_hz: float) -> float:
+        return self.work_factor * ops * cycles_per_op / cpu_hz
+
+
+def charge(rt, config: AppConfig, ops: float, cycles_per_op: float) -> Generator:
+    """Charge ``ops`` operations of application compute (``yield from``)."""
+    seconds = config.charge_seconds(ops, cycles_per_op, rt.node.cfg.cpu_hz)
+    yield from rt.compute(seconds)
+    return None
+
+
+def chunk_bounds(total: int, nprocs: int, rank: int) -> tuple[int, int]:
+    """Contiguous block decomposition ``[lo, hi)`` of ``total`` items."""
+    base = total // nprocs
+    extra = total % nprocs
+    lo = rank * base + min(rank, extra)
+    hi = lo + base + (1 if rank < extra else 0)
+    return lo, hi
+
+
+@dataclass
+class AppResult:
+    """Outcome of one application run."""
+
+    protocol: str
+    nprocs: int
+    output: Any
+    stats: Any  # RunStats (DSM) or NetStats-like (MPI)
+    time: float
+    verified: bool = False
+
+    def table_row(self) -> dict:
+        if hasattr(self.stats, "table_row"):
+            return self.stats.table_row()
+        return {"Time (Sec.)": round(self.time, 3)}
+
+
+def run_app(
+    app_module,
+    protocol: str,
+    nprocs: int,
+    config: Optional[AppConfig] = None,
+    variant: str = "default",
+    verify: bool = True,
+    netcfg: Optional[NetConfig] = None,
+    nodecfg: Optional[NodeConfig] = None,
+) -> AppResult:
+    """Build, run and (optionally) verify one application.
+
+    ``app_module`` must expose ``default_config()``, ``sequential(config)``,
+    ``build(system, config, variant)`` returning the program body, and
+    ``extract(system, config)`` returning the comparable output.  MPI apps
+    additionally expose ``build_mpi``/``run`` hooks via ``protocol="mpi"``.
+    """
+    config = config or app_module.default_config()
+    if protocol == "mpi":
+        system = MpiSystem(nprocs, netcfg=netcfg, nodecfg=nodecfg)
+        output = app_module.run_mpi(system, config)
+        result = AppResult(
+            protocol, nprocs, output, system.stats, system.time
+        )
+    else:
+        system = make_system(nprocs, protocol, netcfg=netcfg, nodecfg=nodecfg)
+        body = app_module.build(system, config, variant)
+        system.run_program(body)
+        output = app_module.extract(system, config)
+        result = AppResult(protocol, nprocs, output, system.stats, system.stats.time)
+    if verify:
+        expected = app_module.sequential(config)
+        result.verified = app_module.outputs_match(output, expected)
+        if not result.verified:
+            raise AssertionError(
+                f"{app_module.__name__} on {protocol}/{nprocs}p produced wrong output"
+            )
+    return result

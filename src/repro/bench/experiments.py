@@ -1,0 +1,119 @@
+"""Named experiments: one callable per paper table.
+
+Used by the CLI (``python -m repro table N``); the pytest benchmarks in
+``benchmarks/`` run the same drivers and add the shape assertions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.apps import gauss, is_sort, nn, sor
+from repro.bench import paper_data
+from repro.bench.runner import Entry, PAPER_PROC_COUNTS, speedup_experiment, stats_experiment
+from repro.bench.tables import format_speedup_table, format_stats_table
+
+__all__ = ["TABLES", "run_table"]
+
+
+def table1(nprocs: int = 16) -> str:
+    results = stats_experiment(is_sort, nprocs=nprocs)
+    return format_stats_table(
+        f"Table 1: Statistics of IS on {nprocs} processors",
+        results,
+        paper=paper_data.TABLE1_IS_STATS,
+    )
+
+
+def table2(nprocs: int = 16) -> str:
+    results = stats_experiment(
+        is_sort,
+        nprocs=nprocs,
+        entries=(Entry("VC_d", "vc_d", "lb"), Entry("VC_sd", "vc_sd", "lb")),
+    )
+    return format_stats_table(
+        f"Table 2: Statistics of IS with fewer barriers on {nprocs} processors",
+        results,
+        paper=paper_data.TABLE2_IS_LB_STATS,
+    )
+
+
+def table3(proc_counts=PAPER_PROC_COUNTS) -> str:
+    speedups = speedup_experiment(
+        is_sort,
+        (Entry("LRC_d", "lrc_d"), Entry("VC_sd", "vc_sd"), Entry("VC_sd lb", "vc_sd", "lb")),
+        proc_counts,
+    )
+    return format_speedup_table("Table 3: Speedup of IS on LRC_d and VC_sd", speedups)
+
+
+def table4(nprocs: int = 16) -> str:
+    results = stats_experiment(gauss, nprocs=nprocs)
+    return format_stats_table(
+        f"Table 4: Statistics of Gauss on {nprocs} processors",
+        results,
+        paper=paper_data.TABLE4_GAUSS_STATS,
+    )
+
+
+def table5(proc_counts=PAPER_PROC_COUNTS) -> str:
+    speedups = speedup_experiment(
+        gauss, (Entry("LRC_d", "lrc_d"), Entry("VC_sd", "vc_sd")), proc_counts
+    )
+    return format_speedup_table("Table 5: Speedup of Gauss on LRC_d and VC_sd", speedups)
+
+
+def table6(nprocs: int = 16) -> str:
+    results = stats_experiment(sor, nprocs=nprocs)
+    return format_stats_table(
+        f"Table 6: Statistics of SOR on {nprocs} processors",
+        results,
+        paper=paper_data.TABLE6_SOR_STATS,
+    )
+
+
+def table7(proc_counts=PAPER_PROC_COUNTS) -> str:
+    speedups = speedup_experiment(
+        sor, (Entry("LRC_d", "lrc_d"), Entry("VC_sd", "vc_sd")), proc_counts
+    )
+    return format_speedup_table("Table 7: Speedup of SOR on LRC_d and VC_sd", speedups)
+
+
+def table8(nprocs: int = 16) -> str:
+    results = stats_experiment(nn, nprocs=nprocs)
+    return format_stats_table(
+        f"Table 8: Statistics of NN on {nprocs} processors",
+        results,
+        paper=paper_data.TABLE8_NN_STATS,
+    )
+
+
+def table9(proc_counts=PAPER_PROC_COUNTS) -> str:
+    speedups = speedup_experiment(
+        nn,
+        (Entry("LRC_d", "lrc_d"), Entry("VC_sd", "vc_sd"), Entry("MPI", "mpi")),
+        proc_counts,
+    )
+    return format_speedup_table("Table 9: Speedup of NN on LRC_d, VC_sd and MPI", speedups)
+
+
+TABLES: dict[int, Callable[[], str]] = {
+    1: table1,
+    2: table2,
+    3: table3,
+    4: table4,
+    5: table5,
+    6: table6,
+    7: table7,
+    8: table8,
+    9: table9,
+}
+
+
+def run_table(number: int) -> str:
+    """Run one paper table's experiment and return the formatted table."""
+    try:
+        fn = TABLES[number]
+    except KeyError:
+        raise ValueError(f"no table {number}; the paper has tables 1-9") from None
+    return fn()

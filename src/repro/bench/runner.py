@@ -1,0 +1,79 @@
+"""Experiment drivers for the table benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.apps.common import AppResult, run_app
+
+__all__ = ["Entry", "stats_experiment", "speedup_experiment", "PAPER_PROC_COUNTS"]
+
+PAPER_PROC_COUNTS = (2, 4, 8, 16, 24, 32)
+
+
+@dataclass(frozen=True)
+class Entry:
+    """One column/row of an experiment: a label plus how to run it."""
+
+    label: str
+    protocol: str
+    variant: str = "default"
+
+
+STATS_ENTRIES = (
+    Entry("LRC_d", "lrc_d"),
+    Entry("VC_d", "vc_d"),
+    Entry("VC_sd", "vc_sd"),
+)
+
+
+def stats_experiment(
+    app_module,
+    nprocs: int = 16,
+    config=None,
+    entries: Sequence[Entry] = STATS_ENTRIES,
+    verify: bool = True,
+) -> dict[str, AppResult]:
+    """Run one application on ``nprocs`` under each entry (a paper stats table)."""
+    results = {}
+    for entry in entries:
+        results[entry.label] = run_app(
+            app_module,
+            entry.protocol,
+            nprocs,
+            config=config,
+            variant=entry.variant,
+            verify=verify,
+        )
+    return results
+
+
+def speedup_experiment(
+    app_module,
+    entries: Sequence[Entry],
+    proc_counts: Sequence[int] = PAPER_PROC_COUNTS,
+    config=None,
+    verify: bool = True,
+) -> dict[str, dict[int, float]]:
+    """Speedups T(1)/T(p) for each entry across ``proc_counts``.
+
+    The baseline T(1) is the 1-processor run of the same protocol/variant —
+    on one node every protocol degenerates to local execution, so this is
+    effectively the sequential time (plus negligible local overhead).
+    """
+    speedups: dict[str, dict[int, float]] = {}
+    for entry in entries:
+        base = run_app(
+            app_module, entry.protocol, 1, config=config, variant=entry.variant,
+            verify=verify,
+        )
+        row: dict[int, float] = {}
+        for p in proc_counts:
+            result = run_app(
+                app_module, entry.protocol, p, config=config, variant=entry.variant,
+                verify=verify,
+            )
+            row[p] = base.time / result.time if result.time > 0 else float("inf")
+        speedups[entry.label] = row
+    return speedups

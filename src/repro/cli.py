@@ -1,0 +1,123 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``run APP``
+    Run one application on one protocol and print the paper-style statistics
+    row (``--protocol``, ``--nprocs``, ``--variant``).
+``table N``
+    Regenerate paper table N (1–9) and print it with the paper's published
+    values alongside.
+``sweep APP``
+    Print a speedup table for an application across processor counts.
+``list``
+    Show the available applications, protocols, variants and tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.apps import APPS
+from repro.apps.common import run_app
+from repro.protocols import PROTOCOLS
+
+VARIANTS = {
+    "is": ("default", "lb"),
+    "gauss": ("default", "no_local_buffers"),
+    "sor": ("default",),
+    "nn": ("default", "no_rview"),
+}
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    app = APPS[args.app]
+    if args.protocol == "mpi" and not hasattr(app, "run_mpi"):
+        print(f"error: {args.app} has no MPI version (only nn does)", file=sys.stderr)
+        return 2
+    result = run_app(
+        app,
+        args.protocol,
+        args.nprocs,
+        variant=args.variant,
+        verify=not args.no_verify,
+    )
+    status = "verified against sequential reference" if result.verified else "NOT verified"
+    print(f"{args.app} on {args.protocol}, {args.nprocs} processors ({status})")
+    for key, value in result.table_row().items():
+        print(f"  {key:<24} {value}")
+    return 0
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    from repro.bench.experiments import run_table
+
+    print(run_table(args.number))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.bench.runner import Entry, speedup_experiment
+    from repro.bench.tables import format_speedup_table
+
+    app = APPS[args.app]
+    if "mpi" in args.protocols and not hasattr(app, "run_mpi"):
+        print(f"error: {args.app} has no MPI version (only nn does)", file=sys.stderr)
+        return 2
+    entries = tuple(Entry(proto, proto) for proto in args.protocols)
+    speedups = speedup_experiment(app, entries, proc_counts=tuple(args.procs))
+    print(format_speedup_table(f"Speedup of {args.app}", speedups))
+    return 0
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    print("applications:")
+    for name in APPS:
+        print(f"  {name:<8} variants: {', '.join(VARIANTS[name])}")
+    print("protocols:", ", ".join(sorted(PROTOCOLS)), "+ mpi (NN only)")
+    print("tables: 1-9 (paper evaluation section); `python -m repro table N`")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="VOPP reproduction: run the paper's applications and experiments",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="run one application")
+    p_run.add_argument("app", choices=sorted(APPS))
+    p_run.add_argument("--protocol", default="vc_sd", choices=[*sorted(PROTOCOLS), "mpi"])
+    p_run.add_argument("--nprocs", type=int, default=16)
+    p_run.add_argument("--variant", default="default")
+    p_run.add_argument("--no-verify", action="store_true")
+    p_run.set_defaults(fn=_cmd_run)
+
+    p_table = sub.add_parser("table", help="regenerate a paper table")
+    p_table.add_argument("number", type=int, choices=range(1, 10))
+    p_table.set_defaults(fn=_cmd_table)
+
+    p_sweep = sub.add_parser("sweep", help="speedup sweep for an application")
+    p_sweep.add_argument("app", choices=sorted(APPS))
+    p_sweep.add_argument(
+        "--protocols", nargs="+", default=["lrc_d", "vc_sd"],
+        choices=[*sorted(PROTOCOLS), "mpi"],
+    )
+    p_sweep.add_argument("--procs", nargs="+", type=int, default=[2, 4, 8, 16])
+    p_sweep.set_defaults(fn=_cmd_sweep)
+
+    p_list = sub.add_parser("list", help="show apps, protocols and tables")
+    p_list.set_defaults(fn=_cmd_list)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,49 @@
+"""Public API: the VOPP programming model (the paper's contribution).
+
+Typical use::
+
+    from repro.core import VoppSystem
+
+    system = VoppSystem(nprocs=8, protocol="vc_sd")
+    counter = system.alloc_array("counter", shape=(1,), dtype="int64")
+
+    def body(rt):
+        for _ in range(100):
+            yield from rt.acquire_view(0)
+            value = (yield from counter.read(rt))[0]
+            yield from counter.write(rt, [0], value + 1)
+            yield from rt.release_view(0)
+        yield from rt.barrier()
+
+    system.run_program(body)
+    print(system.stats.table_row())
+
+Two runtime flavours exist:
+
+* :class:`VoppRuntime` — view primitives (``acquire_view``/``release_view``,
+  ``acquire_Rview``/``release_Rview``, ``barrier``, ``merge_views``) for
+  VC_d/VC_sd;
+* :class:`TraditionalRuntime` — locks + consistency barriers for LRC_d
+  (the baseline programming style the paper converts *from*).
+
+Both expose ``rt.compute(seconds)`` for charging application CPU work and
+typed :class:`SharedArray` accessors for shared data.
+"""
+
+from repro.core.shared_array import SharedArray
+from repro.core.vopp import VoppRuntime, TraditionalRuntime
+from repro.core.program import VoppSystem, TraditionalSystem, make_system
+from repro.protocols.runstats import RunStats
+from repro.protocols.base import VoppDisciplineError, ViewOverlapError
+
+__all__ = [
+    "SharedArray",
+    "VoppRuntime",
+    "TraditionalRuntime",
+    "VoppSystem",
+    "TraditionalSystem",
+    "make_system",
+    "RunStats",
+    "VoppDisciplineError",
+    "ViewOverlapError",
+]

@@ -1,0 +1,168 @@
+"""System facades and the parallel program runner.
+
+A *system* bundles a :class:`repro.protocols.system.DsmSystem` with typed
+array allocation and a runner that spawns one application process per node.
+Program bodies are generators taking the per-rank runtime::
+
+    def body(rt):
+        yield from rt.barrier()
+        ...
+
+``run_program`` drives the simulation to completion, records the run time in
+the statistics, and surfaces any worker exception (deadlocks show up as
+workers that never finish).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, Optional, Type
+
+import numpy as np
+
+from repro.core.shared_array import SharedArray
+from repro.core.vopp import BaseRuntime, TraditionalRuntime, VoppRuntime
+from repro.net.config import NetConfig, NodeConfig
+from repro.protocols.system import DsmSystem
+
+__all__ = ["BaseSystem", "VoppSystem", "TraditionalSystem", "make_system"]
+
+
+class BaseSystem:
+    """Common facade over a DSM deployment."""
+
+    runtime_cls: Type[BaseRuntime] = BaseRuntime
+
+    def __init__(
+        self,
+        nprocs: int,
+        protocol: str,
+        netcfg: Optional[NetConfig] = None,
+        nodecfg: Optional[NodeConfig] = None,
+        page_size: Optional[int] = None,
+        manager_offset: int = 0,
+    ):
+        self.dsm = DsmSystem(
+            nprocs,
+            protocol=protocol,
+            netcfg=netcfg,
+            nodecfg=nodecfg,
+            page_size=page_size,
+            manager_offset=manager_offset,
+        )
+        self.arrays: dict[str, SharedArray] = {}
+        self.app_output = None  # applications stash their rank-0 read-out here
+
+    # -- convenience properties ----------------------------------------------------
+
+    @property
+    def nprocs(self) -> int:
+        return self.dsm.nprocs
+
+    @property
+    def stats(self):
+        return self.dsm.stats
+
+    @property
+    def sim(self):
+        return self.dsm.sim
+
+    # -- allocation -------------------------------------------------------------------
+
+    def alloc_array(
+        self,
+        name: str,
+        shape: "tuple[int, ...] | int",
+        dtype: str = "float64",
+        page_aligned: bool = False,
+    ) -> SharedArray:
+        """Allocate a typed shared array.
+
+        VOPP code should pass ``page_aligned=True`` for each view's data so
+        views never share pages; traditional code packs allocations (and may
+        false-share) exactly like the original programs.
+        """
+        if isinstance(shape, int):
+            shape = (shape,)
+        dt = np.dtype(dtype)
+        nbytes = int(np.prod(shape)) * dt.itemsize
+        region = self.dsm.alloc(name, nbytes, page_aligned=page_aligned)
+        arr = SharedArray(region, shape, dt)
+        self.arrays[name] = arr
+        return arr
+
+    def array(self, name: str) -> SharedArray:
+        return self.arrays[name]
+
+    # -- running ---------------------------------------------------------------------------
+
+    def runtime(self, rank: int) -> BaseRuntime:
+        return self.runtime_cls(self, rank)
+
+    def run_program(self, body: Callable[..., Generator], *args, **kwargs) -> list:
+        """Run ``body(rt, *args, **kwargs)`` on every node; return results by rank.
+
+        The simulated duration is recorded in ``stats.time``.
+        """
+        start = self.sim.now
+        finish_times: list[float] = []
+
+        def timed(rank: int) -> Generator:
+            rt = self.runtime(rank)
+            result = yield from body(rt, *args, **kwargs)
+            finish_times.append(self.sim.now)
+            return result
+
+        procs = [
+            self.sim.spawn(timed(rank), name=f"app-{rank}") for rank in range(self.nprocs)
+        ]
+        self.dsm.run()
+        stuck = [p.name for p in procs if not p.finished]
+        if stuck:
+            raise RuntimeError(
+                f"workers never finished (deadlock or lost wakeup): {stuck}"
+            )
+        # the run ends when the last application process finishes; the event
+        # heap may keep draining cancelled retransmission timers afterwards,
+        # which must not count towards the measured time
+        self.stats.time = max(finish_times) - start
+        return [p.result for p in procs]
+
+
+class VoppSystem(BaseSystem):
+    """A cluster running a VC protocol with the VOPP runtime.
+
+    ``protocol`` is ``"vc_sd"`` (default, the optimal implementation) or
+    ``"vc_d"``.
+    """
+
+    runtime_cls = VoppRuntime
+
+    def __init__(self, nprocs: int, protocol: str = "vc_sd", **kw):
+        if protocol not in ("vc_d", "vc_sd"):
+            raise ValueError(f"VOPP runs on vc_d or vc_sd, not {protocol!r}")
+        super().__init__(nprocs, protocol, **kw)
+
+
+class TraditionalSystem(BaseSystem):
+    """A cluster running an LRC variant with the lock/barrier runtime.
+
+    ``protocol`` is ``"lrc_d"`` (homeless, diff-based — the paper's baseline)
+    or ``"hlrc_d"`` (home-based — the comparison protocol from the authors'
+    companion work).
+    """
+
+    runtime_cls = TraditionalRuntime
+
+    def __init__(self, nprocs: int, protocol: str = "lrc_d", **kw):
+        if protocol not in ("lrc_d", "hlrc_d"):
+            raise ValueError(
+                f"traditional programs run on lrc_d or hlrc_d, not {protocol!r}"
+            )
+        super().__init__(nprocs, protocol, **kw)
+
+
+def make_system(nprocs: int, protocol: str, **kw) -> BaseSystem:
+    """Factory choosing the right facade for a protocol name."""
+    if protocol in ("lrc_d", "hlrc_d"):
+        return TraditionalSystem(nprocs, protocol=protocol, **kw)
+    return VoppSystem(nprocs, protocol=protocol, **kw)

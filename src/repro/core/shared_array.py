@@ -1,0 +1,104 @@
+"""Typed shared arrays over DSM regions.
+
+A :class:`SharedArray` is the application-facing handle for a shared
+allocation: it knows its region, dtype and shape, and translates element
+slices into the byte-range reads/writes that drive the page-fault machinery.
+
+Access methods take the calling rank's runtime (``rt``) because each node
+reads through *its own* page copies — the same array object is shared by all
+ranks, the data is not.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator, Sequence
+
+import numpy as np
+
+from repro.memory.address_space import Region
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.vopp import BaseRuntime
+
+__all__ = ["SharedArray"]
+
+
+class SharedArray:
+    """An n-dimensional typed array living in the shared address space."""
+
+    def __init__(self, region: Region, shape: tuple[int, ...], dtype: np.dtype):
+        self.region = region
+        self.shape = tuple(shape)
+        self.dtype = np.dtype(dtype)
+        self.size = int(np.prod(self.shape))
+        if self.size * self.dtype.itemsize != region.size:
+            raise ValueError(
+                f"region {region.name!r} holds {region.size} bytes but shape "
+                f"{self.shape} x {self.dtype} needs {self.size * self.dtype.itemsize}"
+            )
+
+    # -- address arithmetic -------------------------------------------------------
+
+    def _flat_span(self, start: int, count: int) -> tuple[int, int]:
+        if start < 0 or count < 0 or start + count > self.size:
+            raise IndexError(
+                f"span [{start}, {start + count}) out of bounds for size {self.size}"
+            )
+        item = self.dtype.itemsize
+        return self.region.base + start * item, count * item
+
+    def row_span(self, row: int) -> tuple[int, int]:
+        """Flat (start, count) of one row of a 2-D array."""
+        if len(self.shape) != 2:
+            raise ValueError("row_span requires a 2-D array")
+        rows, cols = self.shape
+        if not (0 <= row < rows):
+            raise IndexError(f"row {row} out of range [0, {rows})")
+        return row * cols, cols
+
+    # -- element access (all ``yield from``) ------------------------------------------
+
+    def read(self, rt: "BaseRuntime", start: int = 0, count: int | None = None) -> Generator:
+        """Read ``count`` elements from flat index ``start``; returns ndarray."""
+        if count is None:
+            count = self.size - start
+        addr, nbytes = self._flat_span(start, count)
+        raw = yield from rt.proto.mm.read_bytes(addr, nbytes)
+        return np.frombuffer(raw.tobytes(), dtype=self.dtype)
+
+    def write(self, rt: "BaseRuntime", start: int, values: "Sequence | np.ndarray") -> Generator:
+        """Write ``values`` at flat index ``start``."""
+        values = np.asarray(values, dtype=self.dtype).ravel()
+        addr, nbytes = self._flat_span(start, values.size)
+        yield from rt.proto.mm.write_bytes(addr, values.view(np.uint8))
+        return None
+
+    def read_all(self, rt: "BaseRuntime") -> Generator:
+        """Read the entire array, reshaped to :attr:`shape`."""
+        flat = yield from self.read(rt, 0, self.size)
+        return flat.reshape(self.shape)
+
+    def write_all(self, rt: "BaseRuntime", values: "Sequence | np.ndarray") -> Generator:
+        values = np.asarray(values, dtype=self.dtype)
+        if values.shape != self.shape:
+            raise ValueError(f"expected shape {self.shape}, got {values.shape}")
+        yield from self.write(rt, 0, values.ravel())
+        return None
+
+    def read_row(self, rt: "BaseRuntime", row: int) -> Generator:
+        start, count = self.row_span(row)
+        return (yield from self.read(rt, start, count))
+
+    def write_row(self, rt: "BaseRuntime", row: int, values) -> Generator:
+        start, count = self.row_span(row)
+        values = np.asarray(values, dtype=self.dtype).ravel()
+        if values.size != count:
+            raise ValueError(f"row needs {count} elements, got {values.size}")
+        yield from self.write(rt, start, values)
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SharedArray({self.region.name!r}, shape={self.shape}, "
+            f"dtype={self.dtype}, base={self.region.base})"
+        )

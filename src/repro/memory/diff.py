@@ -1,0 +1,130 @@
+"""Run-length byte diffs, the unit of data movement in all three protocols.
+
+A diff records the byte ranges of a page that changed relative to a *twin*
+(the pristine copy captured at the first write fault of an interval), as a
+list of ``(offset, bytes)`` runs.  Its wire size is what the paper's "Data"
+row measures, so the accounting here (:attr:`Diff.wire_size`) matters:
+
+``wire_size = DIFF_HEADER + sum(RUN_HEADER + len(run)) over runs``
+
+which mirrors TreadMarks' (offset, length, data...) encoding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "Diff",
+    "make_diff",
+    "apply_diff",
+    "integrate_diffs",
+    "full_page_diff",
+    "DIFF_HEADER_BYTES",
+    "RUN_HEADER_BYTES",
+]
+
+DIFF_HEADER_BYTES = 12  # page id + run count + timestamp
+RUN_HEADER_BYTES = 4  # offset + length (2 shorts: pages are 4 KB)
+
+
+@dataclass(frozen=True)
+class Diff:
+    """Immutable byte-level delta for one page."""
+
+    page_id: int
+    runs: tuple[tuple[int, bytes], ...]
+
+    def __post_init__(self) -> None:
+        last_end = -1
+        for off, data in self.runs:
+            if off < 0 or not data:
+                raise ValueError(f"bad run (offset={off}, len={len(data)})")
+            if off <= last_end:
+                raise ValueError("runs must be sorted and non-overlapping")
+            last_end = off + len(data) - 1
+
+    @property
+    def empty(self) -> bool:
+        return not self.runs
+
+    @property
+    def changed_bytes(self) -> int:
+        return sum(len(d) for _, d in self.runs)
+
+    @property
+    def wire_size(self) -> int:
+        return DIFF_HEADER_BYTES + sum(RUN_HEADER_BYTES + len(d) for _, d in self.runs)
+
+    def covers(self) -> list[tuple[int, int]]:
+        """Half-open ``(start, end)`` intervals touched by this diff."""
+        return [(off, off + len(d)) for off, d in self.runs]
+
+
+def make_diff(page_id: int, twin: np.ndarray, current: np.ndarray) -> Diff:
+    """Diff ``current`` against ``twin``; both are uint8 arrays of page size."""
+    if twin.shape != current.shape:
+        raise ValueError("twin/current shape mismatch")
+    changed = twin != current
+    if not changed.any():
+        return Diff(page_id, ())
+    idx = np.flatnonzero(changed)
+    # split indices into maximal consecutive runs
+    breaks = np.flatnonzero(np.diff(idx) > 1)
+    starts = np.concatenate(([0], breaks + 1))
+    ends = np.concatenate((breaks, [len(idx) - 1]))
+    runs = []
+    for s, e in zip(starts, ends):
+        off = int(idx[s])
+        stop = int(idx[e]) + 1
+        runs.append((off, current[off:stop].tobytes()))
+    return Diff(page_id, tuple(runs))
+
+
+def apply_diff(page: np.ndarray, diff: Diff) -> None:
+    """Apply ``diff`` to ``page`` in place."""
+    for off, data in diff.runs:
+        end = off + len(data)
+        if end > page.shape[0]:
+            raise ValueError(f"diff run [{off}:{end}] exceeds page size {page.shape[0]}")
+        page[off:end] = np.frombuffer(data, dtype=np.uint8)
+
+
+def integrate_diffs(page_id: int, diffs: Sequence[Diff], page_size: int) -> Diff:
+    """Merge ``diffs`` (applied in order) into one equivalent diff.
+
+    This is VC_sd's *diff integration*: later runs overwrite earlier ones, and
+    adjacent/overlapping runs coalesce, so the result's wire size is the size
+    of the *union* of modified bytes — never the sum.
+    """
+    scratch = np.zeros(page_size, dtype=np.uint8)
+    touched = np.zeros(page_size, dtype=bool)
+    for diff in diffs:
+        if diff.page_id != page_id:
+            raise ValueError(
+                f"cannot integrate diff for page {diff.page_id} into page {page_id}"
+            )
+        for off, data in diff.runs:
+            end = off + len(data)
+            scratch[off:end] = np.frombuffer(data, dtype=np.uint8)
+            touched[off:end] = True
+    if not touched.any():
+        return Diff(page_id, ())
+    idx = np.flatnonzero(touched)
+    breaks = np.flatnonzero(np.diff(idx) > 1)
+    starts = np.concatenate(([0], breaks + 1))
+    ends = np.concatenate((breaks, [len(idx) - 1]))
+    runs = []
+    for s, e in zip(starts, ends):
+        off = int(idx[s])
+        stop = int(idx[e]) + 1
+        runs.append((off, scratch[off:stop].tobytes()))
+    return Diff(page_id, tuple(runs))
+
+
+def full_page_diff(page_id: int, page: np.ndarray) -> Diff:
+    """A diff that replaces the whole page (used for first-touch transfers)."""
+    return Diff(page_id, ((0, page.tobytes()),))

@@ -1,0 +1,210 @@
+"""Per-node memory manager: page copies, fault routing, interval bookkeeping.
+
+The manager is the boundary between applications and the consistency
+protocol.  Applications (through :class:`repro.core.shared_array.SharedArray`)
+call :meth:`read_bytes`/:meth:`write_bytes`; the manager detects which pages
+are not in the right state and hands them to the protocol's fault handlers —
+the software analogue of an mprotect fault.
+
+Interval bookkeeping (twins, write sets, diff creation at release time) also
+lives here because every protocol shares it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator, Iterable, Optional, Protocol as TypingProtocol
+
+import numpy as np
+
+from repro.memory.address_space import AddressSpace
+from repro.memory.diff import Diff, apply_diff, make_diff
+from repro.memory.page import PageCopy, PageState
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.cluster import Node
+
+__all__ = ["MemoryManager", "FaultHandler"]
+
+
+class FaultHandler(TypingProtocol):
+    """What a consistency protocol must provide to a memory manager."""
+
+    def read_fault(self, pids: list[int]) -> Generator:  # pragma: no cover
+        ...
+
+    def write_fault(self, pids: list[int]) -> Generator:  # pragma: no cover
+        ...
+
+
+class MemoryManager:
+    """One node's view of the shared address space."""
+
+    def __init__(self, node: "Node", space: AddressSpace):
+        self.node = node
+        self.space = space
+        self.pages: dict[int, PageCopy] = {}
+        self.write_set: set[int] = set()
+        self.fault_handler: Optional[FaultHandler] = None
+        # optional access recorder: called as recorder(node_id, pids, mode)
+        # for every block access ("r"/"w"); used by repro.tools.autoview
+        self.recorder = None
+
+    # -- page table ------------------------------------------------------------
+
+    def page(self, pid: int) -> PageCopy:
+        copy = self.pages.get(pid)
+        if copy is None:
+            copy = PageCopy(pid, self.space.page_size)
+            self.pages[pid] = copy
+        return copy
+
+    def state(self, pid: int) -> PageState:
+        copy = self.pages.get(pid)
+        return copy.state if copy is not None else PageState.NO_COPY
+
+    # -- application access path -------------------------------------------------
+
+    def read_bytes(self, addr: int, nbytes: int) -> Generator:
+        """Read ``nbytes`` at ``addr`` (``yield from``); returns a uint8 array."""
+        pids = self.space.pages_of_range(addr, nbytes)
+        if self.recorder is not None:
+            self.recorder(self.node.id, pids, "r")
+        faulting = [p for p in pids if not self.page(p).readable]
+        if faulting:
+            if self.fault_handler is None:
+                raise RuntimeError("no protocol attached to memory manager")
+            yield from self.fault_handler.read_fault(faulting)
+        return self._gather(addr, nbytes)
+
+    def write_bytes(self, addr: int, data: np.ndarray) -> Generator:
+        """Write ``data`` (uint8 array/bytes) at ``addr`` (``yield from``)."""
+        data = np.asarray(data, dtype=np.uint8).ravel()
+        nbytes = data.shape[0]
+        pids = self.space.pages_of_range(addr, nbytes)
+        if self.recorder is not None:
+            self.recorder(self.node.id, pids, "w")
+        faulting = [p for p in pids if not self.page(p).writable]
+        if faulting:
+            if self.fault_handler is None:
+                raise RuntimeError("no protocol attached to memory manager")
+            yield from self.fault_handler.write_fault(faulting)
+        self._scatter(addr, data)
+        return None
+
+    def _gather(self, addr: int, nbytes: int) -> np.ndarray:
+        out = np.empty(nbytes, dtype=np.uint8)
+        psz = self.space.page_size
+        pos = addr
+        end = addr + nbytes
+        while pos < end:
+            pid = pos // psz
+            off = pos % psz
+            take = min(end - pos, psz - off)
+            copy = self.pages[pid]
+            if not copy.readable:
+                raise RuntimeError(f"page {pid} not readable after fault handling")
+            out[pos - addr : pos - addr + take] = copy.data[off : off + take]
+            pos += take
+        return out
+
+    def _scatter(self, addr: int, data: np.ndarray) -> None:
+        psz = self.space.page_size
+        pos = addr
+        end = addr + data.shape[0]
+        while pos < end:
+            pid = pos // psz
+            off = pos % psz
+            take = min(end - pos, psz - off)
+            copy = self.pages[pid]
+            if not copy.writable:
+                raise RuntimeError(f"page {pid} not writable after fault handling")
+            copy.data[off : off + take] = data[pos - addr : pos - addr + take]
+            pos += take
+
+    # -- interval bookkeeping (used by protocols) ----------------------------------
+
+    def start_writing(self, pid: int) -> None:
+        """Twin the page and mark it RW + in the current write set."""
+        copy = self.page(pid)
+        copy.make_twin()
+        copy.state = PageState.RW
+        self.write_set.add(pid)
+
+    def end_interval(self) -> dict[int, Diff]:
+        """Close the current interval: diff every written page against its twin.
+
+        Pages downgrade RW→RO and twins are dropped.  Returns only non-empty
+        diffs (a twinned page that was never actually modified produces none).
+        """
+        diffs: dict[int, Diff] = {}
+        for pid in sorted(self.write_set):
+            copy = self.pages[pid]
+            if copy.twin is None:
+                raise RuntimeError(f"page {pid} in write set without twin")
+            diff = make_diff(pid, copy.twin, copy.data)
+            if not diff.empty:
+                diffs[pid] = diff
+            copy.drop_twin()
+            copy.state = PageState.RO
+        self.write_set.clear()
+        return diffs
+
+    def flush_page(self, pid: int) -> Optional[Diff]:
+        """Early-flush one written page (invalidation arrived while RW).
+
+        Diffs the page against its twin, drops the twin, removes the page
+        from the write set and leaves it RO (the caller will invalidate it).
+        Returns the diff, or ``None`` if nothing actually changed.
+        """
+        copy = self.pages[pid]
+        if copy.twin is None:
+            raise RuntimeError(f"page {pid}: flush without twin")
+        diff = make_diff(pid, copy.twin, copy.data)
+        copy.drop_twin()
+        copy.state = PageState.RO
+        self.write_set.discard(pid)
+        return None if diff.empty else diff
+
+    def interval_dirty_bytes(self) -> int:
+        """Bytes the pending twins cover (cost accounting for diff creation)."""
+        return len(self.write_set) * self.space.page_size
+
+    # -- protocol data movement helpers ---------------------------------------------
+
+    def invalidate(self, pids: Iterable[int]) -> None:
+        """Mark pages stale; only pages with a copy transition (NO_COPY stays)."""
+        for pid in pids:
+            copy = self.pages.get(pid)
+            if copy is None or copy.state is PageState.NO_COPY:
+                continue
+            if copy.state is PageState.RW:
+                raise RuntimeError(
+                    f"node {self.node.id}: invalidating page {pid} while writing it "
+                    "(view overlap or missing release?)"
+                )
+            copy.state = PageState.INVALID
+
+    def install_full_page(self, pid: int, content: bytes | np.ndarray, state: PageState = PageState.RO) -> None:
+        copy = self.page(pid)
+        copy.materialise()
+        copy.data[:] = np.frombuffer(content, dtype=np.uint8) if isinstance(content, bytes) else content
+        copy.state = state
+
+    def apply_diffs(self, pid: int, diffs: Iterable[Diff], state: PageState = PageState.RO) -> None:
+        copy = self.page(pid)
+        copy.materialise()
+        for diff in diffs:
+            apply_diff(copy.data, diff)
+        copy.state = state
+
+    def zero_fill(self, pid: int, state: PageState = PageState.RO) -> None:
+        """First-touch materialisation of an untouched (all-zero) page."""
+        copy = self.page(pid)
+        copy.materialise()
+        copy.state = state
+
+    def snapshot_page(self, pid: int) -> bytes:
+        copy = self.pages.get(pid)
+        if copy is None or copy.data is None:
+            raise KeyError(f"node {self.node.id} has no copy of page {pid}")
+        return copy.data.tobytes()

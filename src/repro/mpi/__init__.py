@@ -1,0 +1,11 @@
+"""Simulated message-passing library (the paper's MPICH baseline).
+
+Runs over the same cluster/network model as the DSM protocols, so the NN
+MPI-vs-VOPP comparison (paper Table 9) is apples-to-apples: identical link
+rate, latencies, software overheads and loss behaviour — only the
+programming model and its message pattern differ.
+"""
+
+from repro.mpi.comm import MpiComm, MpiSystem
+
+__all__ = ["MpiComm", "MpiSystem"]

@@ -1,0 +1,226 @@
+"""MPI-style communicator over the simulated cluster.
+
+Point-to-point ``send``/``recv`` with ``(source, tag)`` matching, plus the
+collectives the applications need (``bcast``, ``reduce``, ``allreduce``,
+``gather``, ``allgather``, ``scatter``, ``barrier``), implemented with the
+binomial-tree algorithms of MPICH's era.  Payloads are numpy arrays (the
+accounted size is ``arr.nbytes``) or small picklable objects with an explicit
+size.
+
+All calls are generators (``yield from``), like everything else in the
+simulator.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Generator, Optional
+
+import numpy as np
+
+from repro.net.cluster import Cluster, Node
+from repro.net.config import NetConfig, NodeConfig
+from repro.net.message import Message, MessageKind
+from repro.sim import Event
+
+__all__ = ["MpiComm", "MpiSystem"]
+
+MPI_HEADER_BYTES = 16
+
+
+def _payload_size(data: Any, size: Optional[int]) -> int:
+    if size is not None:
+        return size + MPI_HEADER_BYTES
+    if isinstance(data, np.ndarray):
+        return int(data.nbytes) + MPI_HEADER_BYTES
+    if isinstance(data, (int, float, np.integer, np.floating)):
+        return 8 + MPI_HEADER_BYTES
+    if isinstance(data, (list, tuple)):
+        return sum(_payload_size(item, None) for item in data) + MPI_HEADER_BYTES
+    if data is None:
+        return MPI_HEADER_BYTES
+    raise TypeError(
+        f"cannot infer wire size of {type(data).__name__}; pass size= explicitly"
+    )
+
+
+class MpiComm:
+    """Per-rank communicator endpoint."""
+
+    def __init__(self, node: Node, size: int):
+        self.node = node
+        self.rank = node.id
+        self.size = size
+        self._queues: dict[tuple[int, int], deque] = {}
+        self._waiters: dict[tuple[int, int], deque] = {}
+        node.register_handler(MessageKind.MPI_DATA, self._on_data)
+
+    # -- point to point -----------------------------------------------------------
+
+    def send(self, data: Any, dest: int, tag: int = 0, size: Optional[int] = None) -> Generator:
+        """Blocking-ish send (completes when the transport acks)."""
+        if dest == self.rank:
+            raise ValueError("MPI self-sends are not supported in the simulator")
+        nbytes = _payload_size(data, size)
+        yield from self.node.send_reliable(
+            dest, MessageKind.MPI_DATA, {"tag": tag, "data": data, "src": self.rank}, nbytes
+        )
+        return None
+
+    def recv(self, source: int, tag: int = 0) -> Generator:
+        """Blocking receive matched on ``(source, tag)``."""
+        key = (source, tag)
+        queue = self._queues.get(key)
+        if queue:
+            return queue.popleft()
+        evt = Event(self.node.sim)
+        self._waiters.setdefault(key, deque()).append(evt)
+        data = yield evt.wait()
+        return data
+
+    def _on_data(self, msg: Message) -> Generator:
+        key = (msg.payload["src"], msg.payload["tag"])
+        waiters = self._waiters.get(key)
+        if waiters:
+            waiters.popleft().set(msg.payload["data"])
+        else:
+            self._queues.setdefault(key, deque()).append(msg.payload["data"])
+        return
+        yield  # pragma: no cover
+
+    # -- collectives (binomial trees rooted at ``root``) ------------------------------
+
+    def _vrank(self, rank: int, root: int) -> int:
+        return (rank - root) % self.size
+
+    def _rrank(self, vrank: int, root: int) -> int:
+        return (vrank + root) % self.size
+
+    def bcast(self, data: Any, root: int = 0, tag: int = -1, size: Optional[int] = None) -> Generator:
+        """Binomial-tree broadcast; every rank returns the data."""
+        v = self._vrank(self.rank, root)
+        mask = 1
+        while mask < self.size:
+            if v & mask:
+                parent = self._rrank(v & ~mask, root)
+                data = yield from self.recv(parent, tag)
+                break
+            mask <<= 1
+        # forward down the tree: children are v | m for m below our recv bit
+        mask >>= 1
+        while mask > 0:
+            child_v = v | mask
+            if child_v != v and child_v < self.size:
+                yield from self.send(data, self._rrank(child_v, root), tag, size=size)
+            mask >>= 1
+        return data
+
+    def reduce(
+        self,
+        data: np.ndarray,
+        op: Callable[[np.ndarray, np.ndarray], np.ndarray] = np.add,
+        root: int = 0,
+        tag: int = -2,
+    ) -> Generator:
+        """Binomial-tree reduction; ``root`` returns the result, others None."""
+        v = self._vrank(self.rank, root)
+        acc = np.asarray(data)
+        mask = 1
+        while mask < self.size:
+            if v & mask:
+                parent = self._rrank(v & ~mask, root)
+                yield from self.send(acc, parent, tag)
+                return None
+            peer_v = v | mask
+            if peer_v < self.size:
+                child = self._rrank(peer_v, root)
+                other = yield from self.recv(child, tag)
+                acc = op(acc, other)
+            mask <<= 1
+        return acc
+
+    def allreduce(self, data: np.ndarray, op=np.add, tag: int = -3) -> Generator:
+        """reduce-to-0 followed by bcast (the classic MPICH composition)."""
+        result = yield from self.reduce(data, op=op, root=0, tag=tag)
+        result = yield from self.bcast(result, root=0, tag=tag - 100)
+        return result
+
+    def gather(self, data: Any, root: int = 0, tag: int = -4, size: Optional[int] = None) -> Generator:
+        """Linear gather; ``root`` returns the rank-ordered list, others None."""
+        if self.rank == root:
+            out: list[Any] = [None] * self.size
+            out[root] = data
+            for src in range(self.size):
+                if src != root:
+                    out[src] = yield from self.recv(src, tag)
+            return out
+        yield from self.send(data, root, tag, size=size)
+        return None
+
+    def allgather(self, data: Any, tag: int = -5, size: Optional[int] = None) -> Generator:
+        gathered = yield from self.gather(data, root=0, tag=tag, size=size)
+        gathered = yield from self.bcast(gathered, root=0, tag=tag - 100, size=size)
+        return gathered
+
+    def scatter(self, chunks: Optional[list], root: int = 0, tag: int = -6, size: Optional[int] = None) -> Generator:
+        """Linear scatter of a rank-indexed list from ``root``."""
+        if self.rank == root:
+            assert chunks is not None and len(chunks) == self.size
+            for dst in range(self.size):
+                if dst != root:
+                    yield from self.send(chunks[dst], dst, tag, size=size)
+            return chunks[root]
+        data = yield from self.recv(root, tag)
+        return data
+
+    def barrier(self, tag: int = -7) -> Generator:
+        """Reduce + bcast of an empty token."""
+        token = np.zeros(1, dtype=np.int8)
+        yield from self.allreduce(token, op=np.add, tag=tag)
+        return None
+
+    def compute(self, seconds: float) -> Generator:
+        return self.node.compute(seconds)
+
+
+class MpiSystem:
+    """A cluster running a message-passing program (no DSM layer)."""
+
+    def __init__(
+        self,
+        nprocs: int,
+        netcfg: Optional[NetConfig] = None,
+        nodecfg: Optional[NodeConfig] = None,
+    ):
+        self.cluster = Cluster(nprocs, netcfg=netcfg, nodecfg=nodecfg)
+        self.comms = [MpiComm(node, nprocs) for node in self.cluster.nodes]
+
+    @property
+    def nprocs(self) -> int:
+        return self.cluster.n
+
+    @property
+    def stats(self):
+        return self.cluster.stats
+
+    def run_program(self, body: Callable[..., Generator], *args, **kwargs) -> list:
+        start = self.cluster.sim.now
+        finish_times: list[float] = []
+
+        def timed(comm: MpiComm) -> Generator:
+            result = yield from body(comm, *args, **kwargs)
+            finish_times.append(self.cluster.sim.now)
+            return result
+
+        procs = [
+            self.cluster.sim.spawn(timed(comm), name=f"mpi-{comm.rank}")
+            for comm in self.comms
+        ]
+        self.cluster.run()
+        stuck = [p.name for p in procs if not p.finished]
+        if stuck:
+            raise RuntimeError(f"MPI ranks never finished: {stuck}")
+        # measure to the last rank's finish, not to event-heap drain (which
+        # includes cancelled retransmission timers)
+        self.time = max(finish_times) - start
+        return [p.result for p in procs]

@@ -1,0 +1,37 @@
+"""Cluster and network model.
+
+Models the paper's testbed ("Godzilla"): 32 PCs with 350 MHz processors
+connected by a 100 Mbps switched Ethernet.  The model captures exactly the
+effects the paper's evaluation hinges on:
+
+* **serialisation** — each NIC transmits and receives at link rate, so n-1
+  nodes bursting at one receiver (the LRC barrier manager) share one 100 Mbps
+  inbound link;
+* **finite receive buffers** — burst congestion overflows the receiver buffer
+  and drops messages (the paper's "message loss");
+* **retransmission timeouts** — a lost message costs ~1 simulated second
+  (the paper: "One message retransmission results in about 1 second waiting
+  time");
+* **per-message software overhead** — the fixed UDP/IP cost on a 350 MHz CPU.
+
+All statistics the paper's tables report (message counts, bytes, rexmits) are
+counted here.
+"""
+
+from repro.net.config import NetConfig, NodeConfig
+from repro.net.message import Message, MessageKind
+from repro.net.cluster import Cluster, Node
+from repro.net.stats import NetStats
+from repro.net.transport import Transport, RequestError
+
+__all__ = [
+    "NetConfig",
+    "NodeConfig",
+    "Message",
+    "MessageKind",
+    "Cluster",
+    "Node",
+    "NetStats",
+    "Transport",
+    "RequestError",
+]

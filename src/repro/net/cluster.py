@@ -1,0 +1,138 @@
+"""Cluster: nodes, dispatcher daemons, and wiring.
+
+A :class:`Node` is one simulated PC: a CPU (time charged through
+:meth:`Node.compute`), a NIC, a reliable transport endpoint, and a
+**dispatcher daemon** that processes incoming protocol messages *serially* —
+exactly like a SIGIO handler in TreadMarks.  Serial handler execution is what
+turns the LRC barrier manager into the bottleneck the paper measures: 2(n-1)
+messages must be handled one after another at node 0.
+
+Protocol layers register generator handlers per :class:`MessageKind`;
+handlers may charge compute time and send messages but must never block on a
+remote request (one-way sends only), which makes the system deadlock-free by
+construction.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, Optional
+
+from repro.sim import Channel, Simulator, Timeout
+from repro.net.config import NetConfig, NodeConfig
+from repro.net.message import Message, MessageKind
+from repro.net.nic import Nic, Switch
+from repro.net.stats import NetStats
+from repro.net.transport import Transport
+
+__all__ = ["Cluster", "Node"]
+
+Handler = Callable[[Message], Generator]
+
+
+class Node:
+    """One simulated cluster node."""
+
+    def __init__(self, sim: Simulator, node_id: int, netcfg: NetConfig, nodecfg: NodeConfig, stats: NetStats):
+        self.sim = sim
+        self.id = node_id
+        self.netcfg = netcfg
+        self.cfg = nodecfg
+        self.stats = stats
+        self.nic = Nic(sim, node_id, netcfg, stats, self._on_frame)
+        self.transport = Transport(sim, node_id, self.nic, netcfg, stats)
+        self._handlers: dict[MessageKind, Handler] = {}
+        self._mailbox: Channel = Channel(sim, name=f"dispatch[{node_id}]")
+        sim.spawn(self._dispatcher(), name=f"dispatch-{node_id}")
+
+    # -- protocol plumbing -------------------------------------------------------
+
+    def register_handler(self, kind: MessageKind, handler: Handler) -> None:
+        """Install ``handler`` for messages of ``kind`` (one per kind)."""
+        if kind in self._handlers:
+            raise ValueError(f"node {self.id}: handler for {kind} already registered")
+        self._handlers[kind] = handler
+
+    def _on_frame(self, msg: Message) -> None:
+        filtered = self.transport.on_receive(msg)
+        if filtered is not None:
+            self._mailbox.put(filtered)
+
+    def _dispatcher(self) -> Generator:
+        while True:
+            msg = yield self._mailbox.get()
+            handler = self._handlers.get(msg.kind)
+            if handler is None:
+                raise LookupError(
+                    f"node {self.id}: no handler for message kind {msg.kind!r}"
+                )
+            yield from handler(msg)
+
+    # -- communication helpers -----------------------------------------------------
+
+    def send_reliable(self, dst: int, kind: MessageKind, payload: Any, size: int) -> Generator:
+        """Reliable one-way send (``yield from``)."""
+        if dst == self.id:
+            raise ValueError("use local calls, not network sends, to self")
+        return self.transport.send_reliable(dst, kind, payload, size)
+
+    def request(self, dst: int, kind: MessageKind, payload: Any, size: int) -> Generator:
+        """RPC (``yield from``); resumes with the reply message."""
+        if dst == self.id:
+            raise ValueError("use local calls, not network requests, to self")
+        return self.transport.request(dst, kind, payload, size)
+
+    def reply_to(self, req: Message, kind: MessageKind, payload: Any, size: int) -> None:
+        self.transport.reply_to(req, kind, payload, size)
+
+    # -- local costs -----------------------------------------------------------------
+
+    def compute(self, seconds: float) -> Generator:
+        """Charge ``seconds`` of CPU time to simulated time (``yield from``)."""
+        if seconds > 0:
+            yield Timeout(seconds)
+        return None
+
+    def compute_cycles(self, cycles: float) -> Generator:
+        return self.compute(self.cfg.cycles(cycles))
+
+    def copy_cost(self, nbytes: int) -> Generator:
+        """Charge the local memcpy cost of moving ``nbytes``."""
+        return self.compute(self.cfg.copy_time(nbytes))
+
+
+class Cluster:
+    """A simulated cluster of ``n`` nodes behind one switch.
+
+    Also owns the simulator and the global statistics object.  Higher layers
+    (DSM protocols, the VOPP runtime, MPI) attach themselves to the nodes.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        netcfg: Optional[NetConfig] = None,
+        nodecfg: Optional[NodeConfig] = None,
+        sim: Optional[Simulator] = None,
+    ):
+        if n < 1:
+            raise ValueError("cluster needs at least one node")
+        self.sim = sim or Simulator()
+        self.netcfg = netcfg or NetConfig()
+        self.nodecfg = nodecfg or NodeConfig()
+        self.stats = NetStats()
+        self.switch = Switch(self.sim, self.netcfg, self.stats)
+        self.nodes = [
+            Node(self.sim, i, self.netcfg, self.nodecfg, self.stats) for i in range(n)
+        ]
+        for node in self.nodes:
+            self.switch.register(node.nic)
+
+    @property
+    def n(self) -> int:
+        return len(self.nodes)
+
+    def __getitem__(self, i: int) -> Node:
+        return self.nodes[i]
+
+    def run(self, until: Optional[float] = None) -> float:
+        return self.sim.run(until=until)

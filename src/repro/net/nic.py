@@ -1,0 +1,140 @@
+"""Network interface model: rate-limited TX/RX with a finite receive buffer.
+
+Each node owns one :class:`Nic`.  Two daemon processes run per NIC:
+
+* the **TX pump** serialises outbound messages onto the wire at link rate
+  (plus the fixed per-message send overhead), then hands them to the switch;
+* the **RX pump** drains the inbound buffer at link rate (plus receive
+  overhead) and delivers messages to the node's dispatcher.
+
+Messages arriving while the inbound buffer is full are **dropped** — this is
+the congestion-loss mechanism: a burst of n-1 simultaneous senders into one
+port (the centralised LRC barrier pattern) overflows the buffer and the lost
+messages each cost a ~1 s retransmission timeout.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Generator
+
+import numpy as np
+
+from repro.sim import Channel, Simulator, Timeout
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.config import NetConfig
+    from repro.net.message import Message
+    from repro.net.stats import NetStats
+
+__all__ = ["Nic", "Switch"]
+
+
+class Nic:
+    """One full-duplex 100 Mbps port."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        node_id: int,
+        cfg: "NetConfig",
+        stats: "NetStats",
+        deliver: Callable[["Message"], None],
+    ):
+        self.sim = sim
+        self.node_id = node_id
+        self.cfg = cfg
+        self.stats = stats
+        self._deliver = deliver  # hand a fully-received message to the node
+        self._switch: "Switch | None" = None
+        self.tx_queue: Channel = Channel(sim, name=f"tx[{node_id}]")
+        self.rx_buffer: Channel = Channel(sim, name=f"rx[{node_id}]")
+        self.rx_bytes = 0  # bytes currently held in the receive buffer
+        # per-NIC deterministic stream: node id decorrelates ports, the
+        # config seed makes whole runs reproducible
+        self._rng = np.random.RandomState(cfg.drop_seed + 7919 * node_id)
+        sim.spawn(self._tx_pump(), name=f"nic-tx-{node_id}")
+        sim.spawn(self._rx_pump(), name=f"nic-rx-{node_id}")
+
+    def attach(self, switch: "Switch") -> None:
+        self._switch = switch
+
+    # -- outbound --------------------------------------------------------------
+
+    def send(self, msg: "Message") -> None:
+        """Queue a message for transmission (never blocks the caller)."""
+        self.tx_queue.put(msg)
+
+    def _tx_pump(self) -> Generator:
+        while True:
+            msg = yield self.tx_queue.get()
+            # software send overhead + wire serialisation at link rate
+            yield Timeout(self.cfg.send_overhead + self.cfg.tx_time(msg.size))
+            assert self._switch is not None, "NIC not attached to a switch"
+            self._switch.transfer(msg)
+
+    # -- inbound ---------------------------------------------------------------
+
+    def on_arrival(self, msg: "Message") -> None:
+        """Called by the switch when a frame reaches this port.
+
+        RED-style congestion loss over *byte* occupancy: above the soft
+        threshold, arrivals are dropped with probability rising linearly to 1
+        at the hard buffer limit.  Bursts of large messages (diff/page
+        replies converging on a central node) fill the buffer; bursts of tiny
+        control messages never do.
+        """
+        wire = msg.size + self.cfg.header_bytes
+        soft = self.cfg.red_threshold_bytes
+        cap = self.cfg.recv_buffer_bytes
+        if self.rx_bytes > 0 and self.rx_bytes + wire > cap:
+            # an oversized message is only accepted into an empty buffer
+            # (standing in for the fragmentation a real stack would do)
+            self.stats.count_drop()
+            return
+        if self.rx_bytes > soft and cap > soft:
+            p_drop = (self.rx_bytes - soft) / (cap - soft)
+            if self._rng.random_sample() < p_drop:
+                self.stats.count_drop()
+                return
+        self.rx_bytes += wire
+        self.rx_buffer.put(msg)
+
+    def _rx_pump(self) -> Generator:
+        while True:
+            msg = yield self.rx_buffer.get()
+            # inbound wire time (the port is shared by all senders) + software
+            # receive overhead
+            yield Timeout(self.cfg.tx_time(msg.size) + self.cfg.recv_overhead)
+            self.rx_bytes -= msg.size + self.cfg.header_bytes
+            self._deliver(msg)
+
+
+class Switch:
+    """Store-and-forward switch connecting all NICs.
+
+    The switch adds a fixed forwarding latency and optionally applies seeded
+    uniform random loss (off by default; buffer overflow at the receiving NIC
+    is the primary loss mechanism).
+    """
+
+    def __init__(self, sim: Simulator, cfg: "NetConfig", stats: "NetStats"):
+        self.sim = sim
+        self.cfg = cfg
+        self.stats = stats
+        self.ports: dict[int, Nic] = {}
+        self._rng = np.random.RandomState(cfg.drop_seed)
+
+    def register(self, nic: Nic) -> None:
+        self.ports[nic.node_id] = nic
+        nic.attach(self)
+
+    def transfer(self, msg: "Message") -> None:
+        if msg.dst not in self.ports:
+            raise KeyError(f"message to unknown node {msg.dst}")
+        if self.cfg.random_drop_prob > 0.0 and (
+            self._rng.random_sample() < self.cfg.random_drop_prob
+        ):
+            self.stats.count_drop()
+            return
+        dst_nic = self.ports[msg.dst]
+        self.sim.schedule(self.cfg.switch_latency, dst_nic.on_arrival, msg)

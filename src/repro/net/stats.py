@@ -1,0 +1,60 @@
+"""Statistics counters matching the paper's table rows.
+
+One :class:`NetStats` instance is shared by the whole cluster; protocol layers
+add their own counters (diff requests, barrier time, acquire time) through
+:class:`repro.core.stats.RunStats`, which embeds this object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["NetStats"]
+
+
+@dataclass
+class NetStats:
+    """Global network counters.
+
+    ``num_msg``/``data_bytes`` mirror the paper's "Num. Msg" and "Data" rows:
+    every protocol message (including replies, excluding pure transport acks)
+    is counted once per *original* send; retransmissions are counted in
+    ``rexmit`` (as in the paper's "Rexmit" row) and their bytes in
+    ``rexmit_bytes``.
+    """
+
+    num_msg: int = 0
+    data_bytes: int = 0
+    acks: int = 0
+    rexmit: int = 0
+    rexmit_bytes: int = 0
+    drops: int = 0
+    by_kind: dict = field(default_factory=dict)
+
+    def count_send(self, kind: str, size: int) -> None:
+        self.num_msg += 1
+        self.data_bytes += size
+        k = str(kind)
+        self.by_kind[k] = self.by_kind.get(k, 0) + 1
+
+    def count_ack(self) -> None:
+        self.acks += 1
+
+    def count_rexmit(self, size: int) -> None:
+        self.rexmit += 1
+        self.rexmit_bytes += size
+
+    def count_drop(self) -> None:
+        self.drops += 1
+
+    def snapshot(self) -> dict:
+        """Plain-dict copy for reporting."""
+        return {
+            "num_msg": self.num_msg,
+            "data_bytes": self.data_bytes,
+            "acks": self.acks,
+            "rexmit": self.rexmit,
+            "rexmit_bytes": self.rexmit_bytes,
+            "drops": self.drops,
+            "by_kind": dict(self.by_kind),
+        }

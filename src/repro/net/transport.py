@@ -1,0 +1,231 @@
+"""Reliable transport over the lossy NIC/switch layer.
+
+Three communication idioms, mirroring what a TreadMarks-era DSM built over
+UDP:
+
+* :meth:`Transport.post` — unreliable one-way datagram (used for transport
+  acks only);
+* :meth:`Transport.send_reliable` — one-way message, acked by the receiver's
+  transport, retransmitted on timeout (used for write-notice pushes, barrier
+  arrivals, view releases);
+* :meth:`Transport.request` — request/reply RPC; the reply is the implicit
+  ack, the *requester* retransmits on timeout, and the receiver caches
+  replies per request id so duplicated requests never re-run the handler
+  (at-most-once execution).
+
+Statistics: original sends are counted in ``NetStats.num_msg``/``data_bytes``
+(replies too, acks not); every retransmission increments ``rexmit``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator
+
+from repro.sim import Event, Simulator, Timeout
+from repro.net.message import Message, MessageKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.config import NetConfig
+    from repro.net.nic import Nic
+    from repro.net.stats import NetStats
+
+__all__ = ["Transport", "RequestError"]
+
+
+class RequestError(RuntimeError):
+    """A reliable send or request exhausted its retransmission budget."""
+
+
+class Transport:
+    """Per-node reliable messaging endpoint.
+
+    The dispatcher (in :mod:`repro.net.cluster`) feeds every received message
+    through :meth:`on_receive`; messages consumed by the transport (acks,
+    duplicate suppressions, reply matching) return ``None``, everything else
+    is returned for protocol-level dispatch.
+    """
+
+    def __init__(self, sim: Simulator, node_id: int, nic: "Nic", cfg: "NetConfig", stats: "NetStats"):
+        self.sim = sim
+        self.node_id = node_id
+        self.nic = nic
+        self.cfg = cfg
+        self.stats = stats
+        self._ack_events: dict[int, Event] = {}
+        self._pending_replies: dict[int, Event] = {}
+        self._seen_reliable: set[int] = set()
+        self._reply_cache: dict[tuple[int, int], Message] = {}
+        self._requests_in_progress: set[tuple[int, int]] = set()
+
+    # -- send paths -------------------------------------------------------------
+
+    def post(self, msg: Message) -> None:
+        """Fire-and-forget, unreliable, uncounted except for acks."""
+        self.nic.send(msg)
+
+    def send_reliable(
+        self,
+        dst: int,
+        kind: MessageKind,
+        payload: Any,
+        size: int,
+    ) -> Generator:
+        """One-way reliable send; completes when the receiver acked.
+
+        Usage: ``yield from transport.send_reliable(...)``.
+        """
+        msg = Message(
+            src=self.node_id, dst=dst, kind=kind, payload=payload, size=size, need_ack=True
+        )
+        self.stats.count_send(kind, size)
+        acked = Event(self.sim)
+        self._ack_events[msg.msg_id] = acked
+        try:
+            yield from self._retry_until(msg, acked)
+        finally:
+            self._ack_events.pop(msg.msg_id, None)
+
+    def request(
+        self,
+        dst: int,
+        kind: MessageKind,
+        payload: Any,
+        size: int,
+    ) -> Generator:
+        """Request/reply RPC; resumes with the reply :class:`Message`."""
+        msg = Message(
+            src=self.node_id, dst=dst, kind=kind, payload=payload, size=size, need_ack=False
+        )
+        msg.req_id = msg.msg_id
+        self.stats.count_send(kind, size)
+        replied = Event(self.sim)
+        self._pending_replies[msg.req_id] = replied
+        try:
+            reply = yield from self._retry_until(msg, replied)
+        finally:
+            self._pending_replies.pop(msg.req_id, None)
+        return reply
+
+    def reply_to(self, req: Message, kind: MessageKind, payload: Any, size: int) -> None:
+        """Send (and cache) the reply to a request message."""
+        reply = Message(
+            src=self.node_id,
+            dst=req.src,
+            kind=kind,
+            payload=payload,
+            size=size,
+            req_id=req.req_id,
+            is_reply=True,
+        )
+        self.stats.count_send(kind, size)
+        key = (req.src, req.req_id)
+        self._reply_cache[key] = reply
+        self._requests_in_progress.discard(key)
+        self.nic.send(reply)
+
+    def _retry_until(self, msg: Message, done: Event) -> Generator:
+        """Transmit ``msg``, retransmitting until ``done`` fires."""
+        self.nic.send(msg.wire_copy())
+        timeout = self.cfg.rexmit_timeout
+        for attempt in range(self.cfg.max_retries):
+            timer = _Timer(self.sim, timeout)
+            result = yield from _first_of(self.sim, done, timer.event)
+            if result is done:
+                timer.cancel()
+                return done._value
+            # timed out: retransmit
+            self.stats.count_rexmit(msg.size)
+            retry = msg.wire_copy()
+            retry.attempt = attempt + 1
+            self.nic.send(retry)
+        raise RequestError(
+            f"node {self.node_id}: {msg.kind} to {msg.dst} lost after "
+            f"{self.cfg.max_retries} retries"
+        )
+
+    # -- receive path -------------------------------------------------------------
+
+    def on_receive(self, msg: Message) -> Message | None:
+        """Filter a received message; return it iff the protocol should see it."""
+        if msg.kind is MessageKind.ACK:
+            evt = self._ack_events.get(msg.payload)
+            if evt is not None:
+                evt.set()
+            return None
+        if msg.need_ack:
+            ack = Message(
+                src=self.node_id,
+                dst=msg.src,
+                kind=MessageKind.ACK,
+                payload=msg.msg_id,
+                size=self.cfg.ack_bytes,
+            )
+            self.stats.count_ack()
+            self.post(ack)
+            if msg.msg_id in self._seen_reliable:
+                return None  # duplicate of an already-delivered reliable send
+            self._seen_reliable.add(msg.msg_id)
+            return msg
+        if msg.is_reply:
+            evt = self._pending_replies.get(msg.req_id)
+            if evt is not None:
+                evt.set(msg)
+            return None  # stale/duplicate reply
+        if msg.req_id is not None:
+            key = (msg.src, msg.req_id)
+            cached = self._reply_cache.get(key)
+            if cached is not None:
+                # reply was lost: resend it without re-running the handler
+                self.stats.count_rexmit(cached.size)
+                self.nic.send(cached.wire_copy())
+                return None
+            if key in self._requests_in_progress:
+                return None  # duplicate while the handler is still running
+            self._requests_in_progress.add(key)
+            return msg
+        return msg
+
+
+class _Timer:
+    """Cancellable one-shot timer built on an :class:`Event`."""
+
+    def __init__(self, sim: Simulator, delay: float):
+        self.event = Event(sim)
+        self._cancelled = False
+        sim.schedule(delay, self._fire)
+
+    def _fire(self) -> None:
+        if not self._cancelled:
+            self.event.set()
+
+    def cancel(self) -> None:
+        self._cancelled = True
+
+
+def _first_of(sim: Simulator, a: Event, b: Event) -> Generator:
+    """Block until either event fires; return the one that fired first."""
+    if a.is_set:
+        return a
+    if b.is_set:
+        return b
+    winner = Event(sim)
+
+    def chain(evt: Event) -> None:
+        if not winner.is_set:
+            winner.set(evt)
+
+    a._waiters.append(_Thunk(sim, lambda _v: chain(a)))
+    b._waiters.append(_Thunk(sim, lambda _v: chain(b)))
+    result = yield winner.wait()
+    return result
+
+
+class _Thunk:
+    """Adapter letting a callback sit on an Event wait queue like a process."""
+
+    def __init__(self, sim: Simulator, fn):
+        self.sim = sim
+        self._fn = fn
+
+    def _resume(self, value=None, exc=None):  # mimics Process._resume signature
+        self._fn(value)

@@ -1,0 +1,46 @@
+"""Global page-location hints.
+
+Real DSM systems assign every page a *static manager* at initialisation time
+(TreadMarks: pages are distributed round-robin; the manager always knows a
+node holding a valid base copy).  We model that metadata as a zero-cost global
+directory: it carries **routing hints only** (who first materialised a page,
+who wrote it last) and never any page content — content always moves through
+accounted network messages.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+__all__ = ["PageDirectory"]
+
+
+class PageDirectory:
+    """Shared (simulation-global) page metadata."""
+
+    def __init__(self) -> None:
+        self._origin: dict[int, int] = {}
+        self._last_writer: dict[int, int] = {}
+
+    def claim_origin(self, pid: int, node: int) -> None:
+        """Record the first node to materialise ``pid`` (idempotent)."""
+        self._origin.setdefault(pid, node)
+
+    def origin(self, pid: int) -> Optional[int]:
+        return self._origin.get(pid)
+
+    def note_writer(self, pid: int, node: int) -> None:
+        self._last_writer[pid] = node
+
+    def fetch_source(self, pid: int, asker: int) -> Optional[int]:
+        """Best node to fetch a full base copy of ``pid`` from (not ``asker``)."""
+        src = self._last_writer.get(pid)
+        if src is not None and src != asker:
+            return src
+        src = self._origin.get(pid)
+        if src is not None and src != asker:
+            return src
+        return None
+
+    def has_any_copy(self, pid: int) -> bool:
+        return pid in self._origin

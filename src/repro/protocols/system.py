@@ -1,0 +1,100 @@
+"""DsmSystem: one simulated DSM deployment (cluster + protocol instances).
+
+Composes everything below the programming-model layer: the simulator, the
+cluster/network, the shared address space, the page directory, per-node
+protocol instances, and the run statistics.  The VOPP runtime and the
+traditional lock/barrier runtime (:mod:`repro.core`) sit on top.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Type
+
+from repro.memory.address_space import AddressSpace
+from repro.net.cluster import Cluster
+from repro.net.config import NetConfig, NodeConfig
+from repro.protocols.base import BaseDsmProtocol
+from repro.protocols.directory import PageDirectory
+from repro.protocols.runstats import RunStats
+
+__all__ = ["DsmSystem"]
+
+
+class DsmSystem:
+    """A cluster running one DSM protocol.
+
+    Parameters
+    ----------
+    nprocs:
+        Number of nodes (= application processes; one process per node, as in
+        the paper's experiments).
+    protocol:
+        Protocol class (``LrcProtocol``, ``VcProtocol``, ``VcSdProtocol``) or
+        one of the names ``"lrc_d"``, ``"vc_d"``, ``"vc_sd"``.
+    """
+
+    def __init__(
+        self,
+        nprocs: int,
+        protocol: "Type[BaseDsmProtocol] | str" = "lrc_d",
+        netcfg: Optional[NetConfig] = None,
+        nodecfg: Optional[NodeConfig] = None,
+        page_size: Optional[int] = None,
+        manager_offset: int = 0,
+    ):
+        if isinstance(protocol, str):
+            from repro.protocols import PROTOCOLS
+
+            try:
+                protocol = PROTOCOLS[protocol]
+            except KeyError:
+                raise ValueError(
+                    f"unknown protocol {protocol!r}; expected one of "
+                    f"{sorted(PROTOCOLS)}"
+                ) from None
+        self.protocol_cls = protocol
+        self.cluster = Cluster(nprocs, netcfg=netcfg, nodecfg=nodecfg)
+        if page_size is None:
+            page_size = self.cluster.nodecfg.page_size
+        self.space = AddressSpace(page_size=page_size)
+        self.directory = PageDirectory()
+        self.stats = RunStats(net=self.cluster.stats)
+        # view metadata shared across nodes (discovered dynamically; a real
+        # implementation distributes this through the view managers — here it
+        # is zero-cost routing metadata, like the page directory)
+        self.view_pages: dict[int, set[int]] = {}
+        self.page_view: dict[int, int] = {}
+        # manager placement: 0 co-locates view v's manager with node v%n
+        # (per-processor views get owner-local managers); the ablation
+        # benches shift it to measure the cost of remote managers
+        self.manager_offset = manager_offset
+        # optional view tracer (repro.tools.tracer.ViewTracer)
+        self.tracer = None
+        self.protocols: list[BaseDsmProtocol] = [
+            protocol(self, node) for node in self.cluster.nodes
+        ]
+
+    @property
+    def nprocs(self) -> int:
+        return self.cluster.n
+
+    @property
+    def sim(self):
+        return self.cluster.sim
+
+    def trace(self, **event) -> None:
+        """Forward a protocol event to the installed tracer, if any."""
+        if self.tracer is not None:
+            self.tracer.record(**event)
+
+    def view_manager(self, view_id: int) -> int:
+        """Static manager assignment distributes view traffic over nodes."""
+        return (view_id + self.manager_offset) % self.nprocs
+
+    def alloc(self, name: str, size: int, page_aligned: bool = False):
+        return self.space.alloc(name, size, page_aligned=page_aligned)
+
+    def run(self, until: Optional[float] = None) -> float:
+        final = self.cluster.run(until=until)
+        self.stats.time = final
+        return final

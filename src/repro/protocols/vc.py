@@ -1,0 +1,401 @@
+"""VC_d: View-based Consistency with the LRC diff/invalidate machinery.
+
+Views are acquired through a **per-view manager** (``view_id % nprocs``), so
+consistency maintenance is *distributed* across the cluster instead of
+centralised at a barrier manager.  The grant message carries only the write
+notices of *that view's* past intervals that the acquirer hasn't received;
+the acquirer invalidates those pages and pulls diffs from their writers on
+fault — the same invalidate protocol as LRC_d (hence "same implementation
+techniques", paper §5).
+
+Barriers are **synchronisation only**: a tiny arrive/release exchange with
+node 0, no notices, no consistency processing — the second defining
+difference from LRC_d (paper §3.3: "Barriers in VOPP simply synchronize the
+processors without any consistency maintenance").
+
+View discipline is enforced where a simulator can see it: writes require a
+held exclusive view, pages may only ever bind to one view
+(:class:`ViewOverlapError` otherwise), and a read-only (Rview) holder must
+not write.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator, Optional
+
+from repro.net.message import Message, MessageKind
+from repro.protocols.base import (
+    CTRL_MSG_BYTES,
+    HANDLER_BASE_COST,
+    NOTICE_PROC_COST,
+    BaseDsmProtocol,
+    ViewOverlapError,
+    VoppDisciplineError,
+)
+from repro.protocols.timestamps import IntervalNotice, notices_wire_size
+from repro.sim import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.protocols.system import DsmSystem
+    from repro.net.cluster import Node
+
+__all__ = ["VcProtocol", "ViewState"]
+
+
+class ViewState:
+    """Manager-side state of one view."""
+
+    __slots__ = ("view_id", "writer", "readers", "queue", "log", "delivered")
+
+    def __init__(self, view_id: int):
+        self.view_id = view_id
+        self.writer: Optional[int] = None  # node holding exclusively
+        self.readers: set[int] = set()  # nodes holding read-only
+        self.queue: list[tuple[int, str, Optional[Message]]] = []  # (node, mode, msg)
+        self.log: list[IntervalNotice] = []  # release history, in order
+        self.delivered: dict[int, int] = {}  # node -> log position delivered
+
+    def grantable(self, mode: str) -> bool:
+        if self.writer is not None:
+            return False
+        if mode == "w":
+            return not self.readers
+        return True  # readers may share
+
+
+class VcProtocol(BaseDsmProtocol):
+    """Per-node VC_d instance."""
+
+    name = "vc_d"
+
+    def __init__(self, system: "DsmSystem", node: "Node"):
+        super().__init__(system, node)
+        self._views: dict[int, ViewState] = {}  # manager-side
+        self._grant_events: dict[int, Event] = {}
+        self.held_excl: Optional[int] = None
+        self.held_r: list[int] = []
+        # barrier client/manager state (sync-only barrier at node 0)
+        self._barrier_arrivals: list[dict] = []
+        self._barrier_events: dict[int, Event] = {}
+        self._barrier_gen = 0
+        node.register_handler(MessageKind.VIEW_ACQUIRE, self._handle_view_acquire)
+        node.register_handler(MessageKind.VIEW_GRANT, self._handle_view_grant)
+        node.register_handler(MessageKind.VIEW_RELEASE, self._handle_view_release)
+        node.register_handler(MessageKind.BARRIER_ARRIVE, self._handle_barrier_arrive)
+        node.register_handler(MessageKind.BARRIER_RELEASE, self._handle_barrier_release)
+
+    # -- access discipline --------------------------------------------------------------
+
+    def check_write_allowed(self, pids: list[int]) -> None:
+        if self.held_excl is None:
+            raise VoppDisciplineError(
+                f"node {self.node.id}: write to shared memory without holding an "
+                "exclusive view (VOPP requires acquire_view before writes)"
+            )
+        for pid in pids:
+            bound = self.system.page_view.get(pid)
+            if bound is not None and bound != self.held_excl:
+                raise ViewOverlapError(
+                    f"node {self.node.id}: page {pid} belongs to view {bound} but "
+                    f"is written under view {self.held_excl} (views must not overlap)"
+                )
+
+    def check_read_allowed(self, pids: list[int]) -> None:
+        held = set(self.held_r)
+        if self.held_excl is not None:
+            held.add(self.held_excl)
+        if not held:
+            raise VoppDisciplineError(
+                f"node {self.node.id}: read of shared memory without holding any view"
+            )
+        for pid in pids:
+            bound = self.system.page_view.get(pid)
+            if bound is not None and bound not in held:
+                raise VoppDisciplineError(
+                    f"node {self.node.id}: page {pid} belongs to view {bound}, which "
+                    f"is not held (held: excl={self.held_excl}, r={self.held_r})"
+                )
+
+    # -- client API -----------------------------------------------------------------------
+
+    def view_manager(self, view_id: int) -> int:
+        return self.system.view_manager(view_id)
+
+    def acquire_view(self, view_id: int) -> Generator:
+        """Exclusive acquire (``yield from``); VOPP forbids nesting these."""
+        if self.held_excl is not None:
+            raise VoppDisciplineError(
+                f"node {self.node.id}: acquire_view({view_id}) while holding view "
+                f"{self.held_excl} (acquire_view must not be nested)"
+            )
+        yield from self._acquire(view_id, "w")
+        self.held_excl = view_id
+
+    def acquire_rview(self, view_id: int) -> Generator:
+        """Read-only acquire (``yield from``); nestable."""
+        yield from self._acquire(view_id, "r")
+        self.held_r.append(view_id)
+
+    def _acquire(self, view_id: int, mode: str) -> Generator:
+        t0 = self.node.sim.now
+        manager = self.view_manager(view_id)
+        evt = Event(self.node.sim)
+        self._grant_events[view_id] = evt
+        if manager == self.node.id:
+            self._manager_acquire(view_id, mode, self.node.id, None)
+        else:
+            self.stats.count_acquire_msg()
+            yield from self.node.send_reliable(
+                manager,
+                MessageKind.VIEW_ACQUIRE,
+                {"view": view_id, "mode": mode, "node": self.node.id},
+                size=CTRL_MSG_BYTES,
+            )
+        payload = yield evt.wait()
+        yield from self._apply_grant(view_id, payload)
+        self.stats.add_acquire_time(self.node.sim.now - t0)
+        self.system.trace(
+            kind="acquire",
+            node=self.node.id,
+            view=view_id,
+            mode=mode,
+            wait=self.node.sim.now - t0,
+            t=self.node.sim.now,
+        )
+
+    def _apply_grant(self, view_id: int, payload: dict) -> Generator:
+        notices = payload["notices"]
+        yield from self.node.compute(NOTICE_PROC_COST * len(notices))
+        self.apply_notices(notices)
+        return None
+
+    def release_view(self, view_id: int) -> Generator:
+        """Release an exclusive view (``yield from``)."""
+        if self.held_excl != view_id:
+            raise VoppDisciplineError(
+                f"node {self.node.id}: release_view({view_id}) but holding "
+                f"{self.held_excl}"
+            )
+        notice = yield from self.end_interval()
+        if notice is not None:
+            self._bind_pages(view_id, notice.pages)
+        self.held_excl = None
+        yield from self._send_release(view_id, "w", notice)
+
+    def release_rview(self, view_id: int) -> Generator:
+        """Release a read-only view (``yield from``)."""
+        if view_id not in self.held_r:
+            raise VoppDisciplineError(
+                f"node {self.node.id}: release_rview({view_id}) not held"
+            )
+        if self.mm.write_set and self.held_excl is None:
+            raise VoppDisciplineError(
+                f"node {self.node.id}: wrote shared data while holding only "
+                f"read views ({sorted(self.mm.write_set)})"
+            )
+        self.held_r.remove(view_id)
+        yield from self._send_release(view_id, "r", None)
+
+    def _send_release(self, view_id: int, mode: str, notice: Optional[IntervalNotice]) -> Generator:
+        manager = self.view_manager(view_id)
+        extra_payload, extra_size = self._release_extra(view_id, notice)
+        if manager == self.node.id:
+            yield from self._manager_apply_release(view_id, mode, notice, extra_payload, local=True)
+            self._manager_release(view_id, mode, self.node.id)
+        else:
+            size = CTRL_MSG_BYTES + (notice.wire_size if notice else 0) + extra_size
+            yield from self.node.send_reliable(
+                manager,
+                MessageKind.VIEW_RELEASE,
+                {
+                    "view": view_id,
+                    "mode": mode,
+                    "node": self.node.id,
+                    "notice": notice,
+                    "extra": extra_payload,
+                },
+                size=size,
+            )
+
+    def _release_extra(self, view_id: int, notice: Optional[IntervalNotice]):
+        """Hook for VC_sd: attach integrated diffs to the release. VC_d: none."""
+        return None, 0
+
+    def _bind_pages(self, view_id: int, pages: tuple[int, ...]) -> None:
+        for pid in pages:
+            bound = self.system.page_view.get(pid)
+            if bound is None:
+                self.system.page_view[pid] = view_id
+                self.system.view_pages.setdefault(view_id, set()).add(pid)
+            elif bound != view_id:
+                raise ViewOverlapError(
+                    f"page {pid} already belongs to view {bound}, cannot bind to "
+                    f"view {view_id}"
+                )
+
+    # -- manager side ---------------------------------------------------------------------
+
+    def _view_state(self, view_id: int) -> ViewState:
+        state = self._views.get(view_id)
+        if state is None:
+            state = ViewState(view_id)
+            self._views[view_id] = state
+        return state
+
+    def _manager_acquire(
+        self, view_id: int, mode: str, node_id: int, msg: Optional[Message]
+    ) -> None:
+        state = self._view_state(view_id)
+        if state.grantable(mode) and not (mode == "r" and self._writer_waiting(state)):
+            self._grant(state, mode, node_id)
+        else:
+            state.queue.append((node_id, mode, msg))
+
+    @staticmethod
+    def _writer_waiting(state: ViewState) -> bool:
+        """Readers don't overtake queued writers (prevents writer starvation)."""
+        return any(m == "w" for _, m, _ in state.queue)
+
+    def _grant(self, state: ViewState, mode: str, node_id: int) -> None:
+        if mode == "w":
+            state.writer = node_id
+        else:
+            state.readers.add(node_id)
+        pos = state.delivered.get(node_id, 0)
+        notices = state.log[pos:]
+        state.delivered[node_id] = len(state.log)
+        payload = self._grant_payload(state, node_id, notices, pos)
+        self.system.trace(
+            kind="grant",
+            node=node_id,
+            view=state.view_id,
+            mode=mode,
+            size=self._grant_size(payload),
+            t=self.node.sim.now,
+        )
+        if node_id == self.node.id:
+            evt = self._grant_events.pop(state.view_id)
+            evt.set(payload)
+        else:
+            kind = MessageKind.VIEW_GRANT if mode == "w" else MessageKind.RVIEW_GRANT
+            size = CTRL_MSG_BYTES + self._grant_size(payload)
+            self.node.sim.spawn(
+                self.node.send_reliable(node_id, MessageKind.VIEW_GRANT, payload, size),
+                name=f"view-grant-{state.view_id}-{node_id}",
+            )
+
+    def _grant_payload(self, state: ViewState, node_id: int, notices: list, pos: int) -> dict:
+        """Hook for VC_sd (adds piggybacked diffs)."""
+        return {"view": state.view_id, "notices": notices}
+
+    def _grant_size(self, payload: dict) -> int:
+        return notices_wire_size(payload["notices"])
+
+    def _manager_release(self, view_id: int, mode: str, node_id: int) -> None:
+        state = self._view_state(view_id)
+        if mode == "w":
+            if state.writer != node_id:
+                raise RuntimeError(
+                    f"view {view_id}: release from {node_id} but writer is {state.writer}"
+                )
+            state.writer = None
+        else:
+            state.readers.discard(node_id)
+        self._grant_waiters(state)
+
+    def _grant_waiters(self, state: ViewState) -> None:
+        while state.queue:
+            node_id, mode, _msg = state.queue[0]
+            if not state.grantable(mode):
+                break
+            state.queue.pop(0)
+            self._grant(state, mode, node_id)
+            if mode == "w":
+                break
+
+    def _manager_apply_release(
+        self,
+        view_id: int,
+        mode: str,
+        notice: Optional[IntervalNotice],
+        extra,
+        local: bool,
+    ) -> Generator:
+        """Record a release's notice in the view log (VC_sd also applies diffs)."""
+        state = self._view_state(view_id)
+        if notice is not None:
+            self.observe_lamport(notice.lamport)
+            state.log.append(notice)
+            state.delivered[notice.node] = len(state.log)
+        return
+        yield  # pragma: no cover
+
+    # -- message handlers --------------------------------------------------------------------
+
+    def _handle_view_acquire(self, msg: Message) -> Generator:
+        yield from self.node.compute(HANDLER_BASE_COST)
+        self._manager_acquire(msg.payload["view"], msg.payload["mode"], msg.payload["node"], msg)
+
+    def _handle_view_grant(self, msg: Message) -> Generator:
+        yield from self.node.compute(HANDLER_BASE_COST)
+        evt = self._grant_events.pop(msg.payload["view"])
+        evt.set(msg.payload)
+
+    def _handle_view_release(self, msg: Message) -> Generator:
+        yield from self.node.compute(HANDLER_BASE_COST)
+        payload = msg.payload
+        yield from self._manager_apply_release(
+            payload["view"], payload["mode"], payload["notice"], payload["extra"], local=False
+        )
+        self._manager_release(payload["view"], payload["mode"], payload["node"])
+
+    # -- synchronisation-only barrier ------------------------------------------------------------
+
+    BARRIER_MANAGER = 0
+
+    def barrier(self, bid: int = 0) -> Generator:
+        """Barrier with no consistency action (VOPP semantics)."""
+        t0 = self.node.sim.now
+        gen = self._barrier_gen
+        self._barrier_gen += 1
+        evt = Event(self.node.sim)
+        self._barrier_events[gen] = evt
+        if self.node.id == self.BARRIER_MANAGER:
+            self._manager_note_arrival({"node": self.node.id, "gen": gen})
+        else:
+            yield from self.node.send_reliable(
+                self.BARRIER_MANAGER,
+                MessageKind.BARRIER_ARRIVE,
+                {"node": self.node.id, "gen": gen},
+                size=CTRL_MSG_BYTES,
+            )
+        yield evt.wait()
+        self.stats.add_barrier_time(self.node.sim.now - t0)
+
+    def _handle_barrier_arrive(self, msg: Message) -> Generator:
+        assert self.node.id == self.BARRIER_MANAGER
+        yield from self.node.compute(HANDLER_BASE_COST)
+        self._manager_note_arrival(msg.payload)
+
+    def _manager_note_arrival(self, payload: dict) -> None:
+        self._barrier_arrivals.append(payload)
+        if len(self._barrier_arrivals) == self.nprocs:
+            arrivals, self._barrier_arrivals = self._barrier_arrivals, []
+            self.stats.count_barrier_episode()
+            for arrival in arrivals:
+                if arrival["node"] == self.node.id:
+                    self._barrier_events.pop(arrival["gen"]).set(None)
+                else:
+                    self.node.sim.spawn(
+                        self.node.send_reliable(
+                            arrival["node"],
+                            MessageKind.BARRIER_RELEASE,
+                            {"gen": arrival["gen"]},
+                            size=CTRL_MSG_BYTES,
+                        ),
+                        name=f"vc-barrier-release-{arrival['node']}",
+                    )
+
+    def _handle_barrier_release(self, msg: Message) -> Generator:
+        yield from self.node.compute(HANDLER_BASE_COST)
+        self._barrier_events.pop(msg.payload["gen"]).set(None)

@@ -1,0 +1,86 @@
+"""Message channels for inter-process communication inside the simulator.
+
+A :class:`Channel` is an unbounded (or optionally bounded) FIFO queue with
+blocking ``get`` and non-blocking ``put``.  It is the building block for NIC
+queues and protocol daemon mailboxes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional
+
+from repro.sim.engine import Effect, Process, SimError, Simulator
+
+__all__ = ["Channel", "ChannelClosed"]
+
+
+class ChannelClosed(Exception):
+    """Raised from a blocked ``get`` when the channel is closed and drained."""
+
+
+class _Get(Effect):
+    __slots__ = ("chan",)
+
+    def __init__(self, chan: "Channel"):
+        self.chan = chan
+
+    def apply(self, sim: Simulator, proc: Process) -> None:
+        chan = self.chan
+        if chan._items:
+            item = chan._items.popleft()
+            sim.schedule(0.0, proc._resume, item)
+        elif chan.closed:
+            sim.schedule(0.0, proc._resume, None, ChannelClosed())
+        else:
+            chan._getters.append(proc)
+
+
+class Channel:
+    """FIFO queue with blocking receive.
+
+    ``put`` never blocks (capacity, when set, raises instead — the network
+    layer models backpressure explicitly by *dropping*, not by blocking, to
+    mirror a real NIC buffer).
+    """
+
+    def __init__(self, sim: Simulator, capacity: Optional[int] = None, name: str = ""):
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self.closed = False
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Process] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> bool:
+        """Enqueue ``item``; returns False iff dropped due to capacity."""
+        if self.closed:
+            raise SimError(f"put on closed channel {self.name!r}")
+        if self._getters:
+            getter = self._getters.popleft()
+            self.sim.schedule(0.0, getter._resume, item)
+            return True
+        if self.capacity is not None and len(self._items) >= self.capacity:
+            return False
+        self._items.append(item)
+        return True
+
+    def get(self) -> Effect:
+        """Effect: block until an item is available, resume with it."""
+        return _Get(self)
+
+    def try_get(self) -> tuple[bool, Any]:
+        """Non-blocking receive: ``(True, item)`` or ``(False, None)``."""
+        if self._items:
+            return True, self._items.popleft()
+        return False, None
+
+    def close(self) -> None:
+        """Close the channel; blocked getters receive :class:`ChannelClosed`."""
+        self.closed = True
+        while self._getters:
+            getter = self._getters.popleft()
+            self.sim.schedule(0.0, getter._resume, None, ChannelClosed())

@@ -1,0 +1,294 @@
+"""Event loop and process abstraction for the discrete-event kernel.
+
+The design follows the classic process-interaction style (SimPy-like) but is
+deliberately small, allocation-light and fully deterministic:
+
+* the event queue is a binary heap keyed by ``(time, seq)`` where ``seq`` is a
+  global monotonically increasing counter — simultaneous events run in the
+  order they were scheduled;
+* a :class:`Process` wraps a Python generator; the generator *yields effects*
+  (subclasses of :class:`Effect`), and the simulator resumes it with the
+  effect's result value;
+* helper generators compose with plain ``yield from``.
+
+Only simulated time exists here; nothing reads the wall clock.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Iterable, Optional
+
+__all__ = [
+    "Simulator",
+    "Process",
+    "Effect",
+    "Timeout",
+    "SimError",
+    "Interrupt",
+]
+
+
+class SimError(RuntimeError):
+    """Raised for misuse of the simulation kernel (e.g. deadlock detection)."""
+
+
+class Interrupt(Exception):
+    """Thrown *into* a process that another process interrupted.
+
+    The ``cause`` attribute carries the value passed to
+    :meth:`Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Effect:
+    """Base class for everything a process may ``yield`` to the simulator.
+
+    Subclasses implement :meth:`apply`, which either schedules a wake-up or
+    registers the process on some wait queue.  The value the process receives
+    back from ``yield`` is whatever the effect's continuation passes to
+    :meth:`Process._resume`.
+    """
+
+    def apply(self, sim: "Simulator", proc: "Process") -> None:
+        raise NotImplementedError
+
+
+class Timeout(Effect):
+    """Suspend the yielding process for ``delay`` simulated seconds.
+
+    ``yield Timeout(0)`` is a legal (and common) way to yield the processor
+    while staying runnable at the current instant.
+    """
+
+    __slots__ = ("delay", "value")
+
+    def __init__(self, delay: float, value: Any = None):
+        if delay < 0:
+            raise SimError(f"negative timeout: {delay!r}")
+        self.delay = float(delay)
+        self.value = value
+
+    def apply(self, sim: "Simulator", proc: "Process") -> None:
+        sim.schedule(self.delay, proc._resume, self.value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Timeout({self.delay!r})"
+
+
+class _Fork(Effect):
+    """Internal effect: spawn a child process and resume immediately."""
+
+    __slots__ = ("gen", "name")
+
+    def __init__(self, gen: Generator, name: str):
+        self.gen = gen
+        self.name = name
+
+    def apply(self, sim: "Simulator", proc: "Process") -> None:
+        child = sim.spawn(self.gen, name=self.name)
+        sim.schedule(0.0, proc._resume, child)
+
+
+class _WaitProcess(Effect):
+    """Internal effect: block until another process terminates."""
+
+    __slots__ = ("target",)
+
+    def __init__(self, target: "Process"):
+        self.target = target
+
+    def apply(self, sim: "Simulator", proc: "Process") -> None:
+        if self.target.finished:
+            sim.schedule(0.0, proc._resume, self.target.result)
+        else:
+            self.target._joiners.append(proc)
+
+
+class Process:
+    """A simulated process: a generator plus bookkeeping.
+
+    Application code never instantiates this directly — use
+    :meth:`Simulator.spawn`.  Inside a running process::
+
+        result = yield Timeout(1.5)          # sleep
+        child  = yield sim.fork(other())     # spawn concurrently
+        rv     = yield child.join()          # wait for termination
+    """
+
+    _ids = itertools.count()
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
+        self.sim = sim
+        self.gen = gen
+        self.pid = next(Process._ids)
+        self.name = name or f"proc-{self.pid}"
+        self.finished = False
+        self.result: Any = None
+        self.error: Optional[BaseException] = None
+        self._joiners: list[Process] = []
+        self._interrupt_pending: Optional[Interrupt] = None
+        self._suspended = True  # not yet resumed for the first time
+
+    # -- public API ---------------------------------------------------------
+
+    def join(self) -> Effect:
+        """Effect that blocks the yielding process until this one finishes."""
+        return _WaitProcess(self)
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into this process at its next resumption.
+
+        If the process is currently blocked its pending wake-up still fires
+        but delivers the interrupt instead of the awaited value.
+        """
+        if self.finished:
+            return
+        self._interrupt_pending = Interrupt(cause)
+        # Ensure the process wakes even if it was waiting on a queue that may
+        # never be signalled.
+        self.sim.schedule(0.0, self._resume, None)
+
+    # -- engine internals ----------------------------------------------------
+
+    def _resume(self, value: Any = None, exc: Optional[BaseException] = None) -> None:
+        if self.finished:
+            return
+        if self._interrupt_pending is not None and exc is None:
+            exc = self._interrupt_pending
+            self._interrupt_pending = None
+        self._suspended = False
+        try:
+            if exc is not None:
+                effect = self.gen.throw(exc)
+            else:
+                effect = self.gen.send(value)
+        except StopIteration as stop:
+            self._finish(result=stop.value)
+            return
+        except BaseException as err:  # noqa: BLE001 - propagate at run()
+            self._finish(error=err)
+            return
+        self._suspended = True
+        if not isinstance(effect, Effect):
+            self._finish(
+                error=SimError(
+                    f"process {self.name!r} yielded {effect!r}, expected an Effect"
+                )
+            )
+            return
+        effect.apply(self.sim, self)
+
+    def _finish(self, result: Any = None, error: Optional[BaseException] = None) -> None:
+        self.finished = True
+        self.result = result
+        self.error = error
+        self.sim._live_processes -= 1
+        for joiner in self._joiners:
+            if error is not None:
+                self.sim.schedule(0.0, joiner._resume, None, error)
+            else:
+                self.sim.schedule(0.0, joiner._resume, result)
+        self._joiners.clear()
+        if error is not None:
+            self.sim._record_failure(self, error)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "finished" if self.finished else "live"
+        return f"<Process {self.name} pid={self.pid} {state}>"
+
+
+class Simulator:
+    """The discrete-event scheduler.
+
+    Typical usage::
+
+        sim = Simulator()
+        sim.spawn(main(), name="main")
+        sim.run()
+        print(sim.now)
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list[tuple[float, int, Callable, tuple]] = []
+        self._seq = itertools.count()
+        self._live_processes = 0
+        self._failures: list[tuple[Process, BaseException]] = []
+        self._running = False
+
+    # -- scheduling -----------------------------------------------------------
+
+    def schedule(self, delay: float, fn: Callable, *args: Any) -> None:
+        """Run ``fn(*args)`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise SimError(f"cannot schedule in the past (delay={delay!r})")
+        heapq.heappush(self._heap, (self.now + delay, next(self._seq), fn, args))
+
+    def spawn(self, gen: Generator, name: str = "") -> Process:
+        """Create a process from a generator and make it runnable now."""
+        proc = Process(self, gen, name=name)
+        self._live_processes += 1
+        self.schedule(0.0, proc._resume, None)
+        return proc
+
+    def fork(self, gen: Generator, name: str = "") -> Effect:
+        """Effect form of :meth:`spawn`, usable from inside a process.
+
+        ``child = yield sim.fork(worker())`` spawns ``worker`` and resumes the
+        caller immediately with the child :class:`Process`.
+        """
+        return _Fork(gen, name)
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Process events until the heap drains (or ``until`` is reached).
+
+        Returns the final simulated time.  If any process died with an
+        exception the first such exception is re-raised (with the remaining
+        failures attached as ``__notes__``-style context in its args).
+        """
+        if self._running:
+            raise SimError("Simulator.run() is not reentrant")
+        self._running = True
+        try:
+            while self._heap:
+                t, _, fn, args = self._heap[0]
+                if until is not None and t > until:
+                    self.now = until
+                    break
+                heapq.heappop(self._heap)
+                self.now = t
+                fn(*args)
+                if self._failures:
+                    proc, err = self._failures[0]
+                    raise SimError(
+                        f"process {proc.name!r} died at t={self.now:.6f}"
+                    ) from err
+        finally:
+            self._running = False
+        return self.now
+
+    def _record_failure(self, proc: Process, error: BaseException) -> None:
+        self._failures.append((proc, error))
+
+    @property
+    def live_processes(self) -> int:
+        """Number of spawned processes that have not yet terminated."""
+        return self._live_processes
+
+    def all_of(self, procs: Iterable[Process]) -> Generator:
+        """Helper generator: join every process in ``procs`` in order.
+
+        Usage: ``results = yield from sim.all_of(workers)``.
+        """
+        results = []
+        for proc in procs:
+            results.append((yield proc.join()))
+        return results

@@ -1,0 +1,166 @@
+"""Synchronisation resources living in simulated time.
+
+These are *simulator-local* primitives used to structure the implementation
+(e.g. serialising a NIC).  They are distinct from the *protocol-level* locks,
+barriers and views in :mod:`repro.protocols`, which cost network messages; the
+primitives here are free of charge and only order events.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Generator, Optional
+
+from repro.sim.engine import Effect, Process, SimError, Simulator
+
+__all__ = ["Mutex", "Semaphore", "Condition", "Event", "Barrier"]
+
+
+class _Acquire(Effect):
+    __slots__ = ("res",)
+
+    def __init__(self, res: "Semaphore"):
+        self.res = res
+
+    def apply(self, sim: Simulator, proc: Process) -> None:
+        res = self.res
+        if res._count > 0:
+            res._count -= 1
+            sim.schedule(0.0, proc._resume, None)
+        else:
+            res._waiters.append(proc)
+
+
+class Semaphore:
+    """Counting semaphore. ``yield sem.acquire()`` / ``sem.release()``."""
+
+    def __init__(self, sim: Simulator, value: int = 1):
+        if value < 0:
+            raise SimError("semaphore initial value must be >= 0")
+        self.sim = sim
+        self._count = value
+        self._waiters: Deque[Process] = deque()
+
+    def acquire(self) -> Effect:
+        return _Acquire(self)
+
+    def release(self) -> None:
+        if self._waiters:
+            waiter = self._waiters.popleft()
+            self.sim.schedule(0.0, waiter._resume, None)
+        else:
+            self._count += 1
+
+    def locked(self) -> bool:
+        return self._count == 0
+
+
+class Mutex(Semaphore):
+    """Binary semaphore with a context-style helper.
+
+    ``yield from mutex.holding(gen)`` runs ``gen`` with the mutex held.
+    """
+
+    def __init__(self, sim: Simulator):
+        super().__init__(sim, value=1)
+
+    def holding(self, gen: Generator) -> Generator:
+        yield self.acquire()
+        try:
+            result = yield from gen
+        finally:
+            self.release()
+        return result
+
+
+class _Wait(Effect):
+    __slots__ = ("evt",)
+
+    def __init__(self, evt: "Event"):
+        self.evt = evt
+
+    def apply(self, sim: Simulator, proc: Process) -> None:
+        evt = self.evt
+        if evt._set:
+            sim.schedule(0.0, proc._resume, evt._value)
+        else:
+            evt._waiters.append(proc)
+
+
+class Event:
+    """One-shot level-triggered event carrying an optional value."""
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self._set = False
+        self._value: Any = None
+        self._waiters: Deque[Process] = deque()
+
+    @property
+    def is_set(self) -> bool:
+        return self._set
+
+    def set(self, value: Any = None) -> None:
+        if self._set:
+            return
+        self._set = True
+        self._value = value
+        while self._waiters:
+            waiter = self._waiters.popleft()
+            self.sim.schedule(0.0, waiter._resume, value)
+
+    def wait(self) -> Effect:
+        return _Wait(self)
+
+
+class Condition:
+    """Condition variable over an explicit :class:`Mutex`.
+
+    ``yield from cond.wait()`` atomically releases the mutex, blocks until
+    notified, then reacquires the mutex before returning.
+    """
+
+    def __init__(self, sim: Simulator, mutex: Optional[Mutex] = None):
+        self.sim = sim
+        self.mutex = mutex or Mutex(sim)
+        self._waiters: Deque[Event] = deque()
+
+    def wait(self) -> Generator:
+        evt = Event(self.sim)
+        self._waiters.append(evt)
+        self.mutex.release()
+        yield evt.wait()
+        yield self.mutex.acquire()
+
+    def notify(self, n: int = 1) -> None:
+        for _ in range(min(n, len(self._waiters))):
+            self._waiters.popleft().set()
+
+    def notify_all(self) -> None:
+        self.notify(len(self._waiters))
+
+
+class Barrier:
+    """Simulator-local barrier for ``parties`` processes (zero message cost)."""
+
+    def __init__(self, sim: Simulator, parties: int):
+        if parties <= 0:
+            raise SimError("barrier needs at least one party")
+        self.sim = sim
+        self.parties = parties
+        self._count = 0
+        self._generation = 0
+        self._event = Event(sim)
+
+    def wait(self) -> Generator:
+        gen = self._generation
+        self._count += 1
+        if self._count == self.parties:
+            self._count = 0
+            self._generation += 1
+            evt, self._event = self._event, Event(self.sim)
+            evt.set(gen)
+            return gen
+        evt = self._event
+        arrived = yield evt.wait()
+        return arrived

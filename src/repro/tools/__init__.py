@@ -1,0 +1,20 @@
+"""Developer tools: view-tuning tracer and report.
+
+The paper's thesis is that VOPP "allows the programmer to participate in
+performance optimization of a program through wise partitioning of the shared
+data into views" (§1) and gives a rule of thumb for it (§3.6).  The
+:class:`repro.tools.ViewTracer` instruments a run and turns the view traffic
+into exactly that advice.
+"""
+
+from repro.tools.tracer import ViewTracer, ViewProfile
+from repro.tools.autoview import AccessRecorder, ViewPlan, ProposedView, infer_views
+
+__all__ = [
+    "ViewTracer",
+    "ViewProfile",
+    "AccessRecorder",
+    "ViewPlan",
+    "ProposedView",
+    "infer_views",
+]

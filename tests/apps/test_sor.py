@@ -1,0 +1,54 @@
+"""SOR correctness across protocols and processor counts."""
+
+import numpy as np
+import pytest
+
+from repro.apps import sor
+from repro.apps.common import run_app
+
+SMALL = sor.SorConfig(rows=20, cols=16, iterations=3, work_factor=1.0)
+
+
+def test_sequential_preserves_boundary():
+    grid0 = sor._grid(SMALL)
+    out = sor.sequential(SMALL)
+    assert np.array_equal(out[0], grid0[0])
+    assert np.array_equal(out[-1], grid0[-1])
+    assert np.array_equal(out[:, 0], grid0[:, 0])
+    assert np.array_equal(out[:, -1], grid0[:, -1])
+
+
+def test_sequential_changes_interior():
+    grid0 = sor._grid(SMALL)
+    out = sor.sequential(SMALL)
+    assert not np.array_equal(out[1:-1, 1:-1], grid0[1:-1, 1:-1])
+
+
+@pytest.mark.parametrize("protocol", ["lrc_d", "vc_d", "vc_sd"])
+@pytest.mark.parametrize("nprocs", [1, 2, 4])
+def test_parallel_matches_sequential_bitwise(protocol, nprocs):
+    result = run_app(sor, protocol, nprocs, SMALL)
+    assert result.verified
+
+
+def test_uneven_row_blocks():
+    cfg = sor.SorConfig(rows=19, cols=16, iterations=2, work_factor=1.0)
+    result = run_app(sor, "vc_sd", 3, cfg)
+    assert result.verified
+
+
+def test_vopp_transfers_only_borders():
+    """The §3.3 effect: VOPP moves clearly less data than LRC once block
+    boundaries fall inside pages (false sharing)."""
+    cfg = sor.SorConfig(rows=40, cols=64, iterations=6, work_factor=1.0)
+    lrc = run_app(sor, "lrc_d", 4, cfg)
+    d = run_app(sor, "vc_d", 4, cfg)
+    # at 4 procs the blocks are boundary-dominated, so the gap is modest; the
+    # benchmark at 16 procs shows the ~2x gap (EXPERIMENTS.md, Table 6)
+    assert d.stats.net.data_bytes < 0.85 * lrc.stats.net.data_bytes
+
+
+def test_relax_color_counts_updates():
+    g = np.ones((6, 8))
+    n = sor._relax_color(g, 1, 5, 0)
+    assert n == 4 * 3  # 4 interior rows, 3 cells of each colour per row

@@ -1,0 +1,131 @@
+"""Tests for the system facades, runtimes and the program runner."""
+
+import pytest
+
+from repro.core import (
+    TraditionalSystem,
+    VoppSystem,
+    make_system,
+)
+from repro.core.vopp import TraditionalRuntime, VoppRuntime
+
+
+def test_make_system_dispatch():
+    assert isinstance(make_system(2, "lrc_d"), TraditionalSystem)
+    assert isinstance(make_system(2, "vc_d"), VoppSystem)
+    assert isinstance(make_system(2, "vc_sd"), VoppSystem)
+
+
+def test_protocol_restrictions():
+    with pytest.raises(ValueError):
+        VoppSystem(2, protocol="lrc_d")
+    with pytest.raises(ValueError):
+        TraditionalSystem(2, protocol="vc_sd")
+
+
+def test_runtime_type_checks():
+    vopp = VoppSystem(1)
+    with pytest.raises(TypeError):
+        TraditionalRuntime(vopp, 0)
+    trad = TraditionalSystem(1)
+    with pytest.raises(TypeError):
+        VoppRuntime(trad, 0)
+
+
+def test_run_program_returns_results_in_rank_order():
+    system = VoppSystem(4)
+
+    def body(rt):
+        yield from rt.barrier()
+        return rt.rank * 2
+
+    assert system.run_program(body) == [0, 2, 4, 6]
+    assert system.stats.time > 0
+
+
+def test_run_program_with_extra_args():
+    system = VoppSystem(2)
+
+    def body(rt, offset, scale=1):
+        yield from rt.barrier()
+        return (rt.rank + offset) * scale
+
+    assert system.run_program(body, 10, scale=3) == [30, 33]
+
+
+def test_deadlock_reported_as_stuck_workers():
+    system = VoppSystem(2)
+
+    def body(rt):
+        if rt.rank == 0:
+            yield from rt.barrier()  # rank 1 never arrives -> deadlock
+        return None
+
+    with pytest.raises(RuntimeError, match="never finished"):
+        system.run_program(body)
+
+
+def test_worker_exception_surfaces():
+    system = VoppSystem(2)
+
+    def body(rt):
+        yield from rt.barrier()
+        if rt.rank == 1:
+            raise ValueError("app bug")
+
+    with pytest.raises(Exception):
+        system.run_program(body)
+
+
+def test_merge_views_updates_everything():
+    system = VoppSystem(3, page_size=256)
+    a = system.alloc_array("a", 4, dtype="int64", page_aligned=True)
+    b = system.alloc_array("b", 4, dtype="int64", page_aligned=True)
+
+    def body(rt):
+        if rt.rank == 0:
+            yield from rt.acquire_view(0)
+            yield from a.write(rt, 0, [1, 2, 3, 4])
+            yield from rt.release_view(0)
+        if rt.rank == 1:
+            yield from rt.acquire_view(1)
+            yield from b.write(rt, 0, [5, 6, 7, 8])
+            yield from rt.release_view(1)
+        yield from rt.barrier()
+        yield from rt.merge_views()
+        # after merge_views every node can read both views (read-only reads
+        # still require holding the views per VOPP, so re-acquire)
+        yield from rt.acquire_Rview(0)
+        yield from rt.acquire_Rview(1)
+        va = yield from a.read(rt)
+        vb = yield from b.read(rt)
+        yield from rt.release_Rview(1)
+        yield from rt.release_Rview(0)
+        yield from rt.barrier()
+        return list(va) + list(vb)
+
+    results = system.run_program(body)
+    for r in results:
+        assert r == [1, 2, 3, 4, 5, 6, 7, 8]
+
+
+def test_compute_charges_time():
+    system = VoppSystem(1)
+
+    def body(rt):
+        t0 = rt.now
+        yield from rt.compute(2.0)
+        return rt.now - t0
+
+    assert system.run_program(body) == [2.0]
+
+
+def test_stats_time_measures_parallel_section():
+    system = VoppSystem(2)
+
+    def body(rt):
+        yield from rt.compute(1.0)
+        yield from rt.barrier()
+
+    system.run_program(body)
+    assert system.stats.time >= 1.0

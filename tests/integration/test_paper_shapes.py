@@ -1,0 +1,75 @@
+"""Fast shape-regression guards for the paper's headline findings.
+
+The full reproductions live in ``benchmarks/``; these scaled-down versions
+run inside the normal test suite so a refactor that silently destroys a
+paper-critical behaviour fails ``pytest tests/`` immediately.
+"""
+
+import pytest
+
+from repro.apps import gauss, is_sort, nn, sor
+from repro.apps.common import run_app
+
+NPROCS = 8
+
+IS_CFG = is_sort.IsConfig(n_keys=1 << 12, b_max=256, reps=6, bucket_views=4, work_factor=512.0)
+GAUSS_CFG = gauss.GaussConfig(n=48, work_factor=1000.0)
+# SOR needs the 16p geometry for false sharing to bite (see EXPERIMENTS.md)
+SOR_CFG = sor.SorConfig(rows=200, cols=64, iterations=4, work_factor=655.0)
+SOR_NPROCS = 16
+NN_CFG = nn.NnConfig(n_samples=256, epochs=8, work_factor=64.0)
+
+
+@pytest.fixture(scope="module")
+def is_results():
+    return {p: run_app(is_sort, p, NPROCS, IS_CFG) for p in ("lrc_d", "vc_d", "vc_sd")}
+
+
+def test_table1_shape_vc_beats_lrc_despite_more_messages(is_results):
+    lrc, vc_d, vc_sd = (is_results[p].stats for p in ("lrc_d", "vc_d", "vc_sd"))
+    assert vc_d.net.num_msg > lrc.net.num_msg
+    assert vc_d.time < lrc.time
+    assert vc_sd.diff_requests == 0 and vc_d.diff_requests > 0
+    assert vc_sd.net.num_msg < vc_d.net.num_msg
+
+
+def test_table1_shape_barrier_cost(is_results):
+    lrc, vc_d = is_results["lrc_d"].stats, is_results["vc_d"].stats
+    assert lrc.barrier_time_avg > 3 * vc_d.barrier_time_avg
+
+
+def test_table2_shape_fewer_barriers_faster():
+    full = run_app(is_sort, "vc_sd", NPROCS, IS_CFG)
+    lb = run_app(is_sort, "vc_sd", NPROCS, IS_CFG, variant="lb")
+    assert lb.stats.barriers < full.stats.barriers
+    assert lb.time <= full.time
+
+
+def test_table4_shape_gauss_false_sharing():
+    lrc = run_app(gauss, "lrc_d", NPROCS, GAUSS_CFG)
+    vc_d = run_app(gauss, "vc_d", NPROCS, GAUSS_CFG)
+    assert lrc.stats.diff_requests > 3 * vc_d.stats.diff_requests
+    assert vc_d.stats.net.data_bytes < lrc.stats.net.data_bytes
+    assert vc_d.time < lrc.time
+
+
+def test_table6_shape_sor_border_views():
+    lrc = run_app(sor, "lrc_d", SOR_NPROCS, SOR_CFG)
+    sd = run_app(sor, "vc_sd", SOR_NPROCS, SOR_CFG)
+    assert sd.stats.net.data_bytes < lrc.stats.net.data_bytes
+    assert sd.time < lrc.time
+
+
+def test_table8_shape_nn_vc_sd_fastest():
+    lrc = run_app(nn, "lrc_d", NPROCS, NN_CFG)
+    sd = run_app(nn, "vc_sd", NPROCS, NN_CFG)
+    assert sd.time < lrc.time
+    assert sd.stats.diff_requests == 0
+
+
+def test_table9_shape_mpi_vs_vopp():
+    sd = run_app(nn, "vc_sd", NPROCS, NN_CFG)
+    mpi = run_app(nn, "mpi", NPROCS, NN_CFG)
+    # comparable at this scale (within 2x), MPI never loses badly
+    assert sd.time < 2 * mpi.time
+    assert mpi.stats.data_bytes < sd.stats.net.data_bytes

@@ -1,0 +1,213 @@
+"""Unit + property tests for the diff machinery."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.memory.diff import (
+    DIFF_HEADER_BYTES,
+    RUN_HEADER_BYTES,
+    Diff,
+    apply_diff,
+    full_page_diff,
+    integrate_diffs,
+    make_diff,
+)
+
+PAGE = 256  # small page for tests
+
+
+def page(vals=0):
+    arr = np.zeros(PAGE, dtype=np.uint8)
+    if np.ndim(vals) or vals:
+        arr[:] = vals
+    return arr
+
+
+def test_identical_pages_give_empty_diff():
+    twin = page()
+    cur = page()
+    d = make_diff(1, twin, cur)
+    assert d.empty
+    assert d.changed_bytes == 0
+    assert d.wire_size == DIFF_HEADER_BYTES
+
+
+def test_single_byte_change():
+    twin = page()
+    cur = page()
+    cur[10] = 7
+    d = make_diff(1, twin, cur)
+    assert d.runs == ((10, bytes([7])),)
+    assert d.changed_bytes == 1
+    assert d.wire_size == DIFF_HEADER_BYTES + RUN_HEADER_BYTES + 1
+
+
+def test_adjacent_changes_coalesce_into_one_run():
+    twin = page()
+    cur = page()
+    cur[20:25] = [1, 2, 3, 4, 5]
+    d = make_diff(1, twin, cur)
+    assert len(d.runs) == 1
+    assert d.runs[0] == (20, bytes([1, 2, 3, 4, 5]))
+
+
+def test_separate_changes_make_separate_runs():
+    twin = page()
+    cur = page()
+    cur[0] = 1
+    cur[100] = 2
+    cur[255] = 3
+    d = make_diff(1, twin, cur)
+    assert [off for off, _ in d.runs] == [0, 100, 255]
+
+
+def test_apply_diff_reconstructs_page():
+    rng = np.random.RandomState(0)
+    twin = rng.randint(0, 256, PAGE).astype(np.uint8)
+    cur = twin.copy()
+    cur[rng.choice(PAGE, 40, replace=False)] ^= 0xFF
+    d = make_diff(3, twin, cur)
+    rebuilt = twin.copy()
+    apply_diff(rebuilt, d)
+    assert np.array_equal(rebuilt, cur)
+
+
+def test_diff_validation_rejects_bad_runs():
+    with pytest.raises(ValueError):
+        Diff(1, ((-1, b"x"),))
+    with pytest.raises(ValueError):
+        Diff(1, ((0, b""),))
+    with pytest.raises(ValueError):
+        Diff(1, ((0, b"ab"), (1, b"c")))  # overlap
+    with pytest.raises(ValueError):
+        Diff(1, ((5, b"a"), (2, b"b")))  # out of order
+
+
+def test_apply_out_of_range_run_raises():
+    d = Diff(1, ((250, b"0123456789"),))
+    with pytest.raises(ValueError):
+        apply_diff(page(), d)
+
+
+def test_mismatched_shapes_raise():
+    with pytest.raises(ValueError):
+        make_diff(1, np.zeros(10, np.uint8), np.zeros(12, np.uint8))
+
+
+def test_integrate_mismatched_page_ids_raises():
+    d = Diff(1, ((0, b"x"),))
+    with pytest.raises(ValueError):
+        integrate_diffs(2, [d], PAGE)
+
+
+def test_integration_result_equals_sequential_application():
+    rng = np.random.RandomState(1)
+    base = rng.randint(0, 256, PAGE).astype(np.uint8)
+    seq = base.copy()
+    diffs = []
+    for step in range(5):
+        twin = seq.copy()
+        seq[rng.choice(PAGE, 30, replace=False)] = rng.randint(0, 256, 30)
+        diffs.append(make_diff(9, twin, seq))
+    integrated = integrate_diffs(9, diffs, PAGE)
+    rebuilt = base.copy()
+    apply_diff(rebuilt, integrated)
+    assert np.array_equal(rebuilt, seq)
+
+
+def test_integration_never_larger_than_sum_of_parts():
+    rng = np.random.RandomState(2)
+    base = rng.randint(0, 256, PAGE).astype(np.uint8)
+    seq = base.copy()
+    diffs = []
+    for step in range(4):
+        twin = seq.copy()
+        seq[10:50] = rng.randint(0, 256, 40)  # same region modified repeatedly
+        # guarantee at least one changed byte so diffs are non-trivial
+        seq[10] = twin[10] ^ 0xFF
+        diffs.append(make_diff(4, twin, seq))
+    integrated = integrate_diffs(4, diffs, PAGE)
+    assert integrated.wire_size <= sum(d.wire_size for d in diffs)
+    # repeated writes to the same 40 bytes integrate to ~40 bytes, not 160
+    assert integrated.changed_bytes <= 40
+
+
+def test_full_page_diff_roundtrip():
+    rng = np.random.RandomState(3)
+    src = rng.randint(0, 256, PAGE).astype(np.uint8)
+    d = full_page_diff(7, src)
+    dst = page()
+    apply_diff(dst, d)
+    assert np.array_equal(dst, src)
+    assert d.changed_bytes == PAGE
+
+
+# -- property-based tests -------------------------------------------------------
+
+page_strategy = st.binary(min_size=PAGE, max_size=PAGE).map(
+    lambda b: np.frombuffer(b, dtype=np.uint8).copy()
+)
+
+
+@given(twin=page_strategy, cur=page_strategy)
+@settings(max_examples=60)
+def test_prop_make_apply_roundtrip(twin, cur):
+    """apply(twin, make_diff(twin, cur)) == cur for arbitrary pages."""
+    d = make_diff(0, twin, cur)
+    rebuilt = twin.copy()
+    apply_diff(rebuilt, d)
+    assert np.array_equal(rebuilt, cur)
+
+
+@given(twin=page_strategy, cur=page_strategy)
+@settings(max_examples=60)
+def test_prop_diff_is_minimal(twin, cur):
+    """Every byte in a run differs at its boundaries (runs are maximal)."""
+    d = make_diff(0, twin, cur)
+    assert d.changed_bytes == int(np.count_nonzero(twin != cur))
+    for off, data in d.runs:
+        # boundaries: byte before/after each run is unchanged
+        if off > 0:
+            assert twin[off - 1] == cur[off - 1]
+        end = off + len(data)
+        if end < PAGE:
+            assert twin[end] == cur[end]
+
+
+@given(
+    base=page_strategy,
+    edits=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=PAGE - 1),
+            st.binary(min_size=1, max_size=32),
+        ),
+        min_size=0,
+        max_size=6,
+    ),
+)
+@settings(max_examples=60)
+def test_prop_integration_equals_sequential(base, edits):
+    """Integrating per-edit diffs equals applying them in order."""
+    seq = base.copy()
+    diffs = []
+    for off, data in edits:
+        data = data[: PAGE - off]
+        if not data:
+            continue
+        twin = seq.copy()
+        seq[off : off + len(data)] = np.frombuffer(data, dtype=np.uint8)
+        diffs.append(make_diff(0, twin, seq))
+    integrated = integrate_diffs(0, diffs, PAGE)
+    rebuilt = base.copy()
+    apply_diff(rebuilt, integrated)
+    assert np.array_equal(rebuilt, seq)
+
+
+@given(twin=page_strategy, cur=page_strategy)
+@settings(max_examples=60)
+def test_prop_wire_size_accounting(twin, cur):
+    d = make_diff(0, twin, cur)
+    expected = DIFF_HEADER_BYTES + sum(RUN_HEADER_BYTES + len(r) for _, r in d.runs)
+    assert d.wire_size == expected
+    assert d.changed_bytes <= PAGE

@@ -1,0 +1,289 @@
+"""Unit tests for the NIC/switch/transport stack."""
+
+import pytest
+
+from repro.net import Cluster, Message, MessageKind, NetConfig
+from repro.sim import Timeout
+
+
+def make_cluster(n=2, **cfg):
+    return Cluster(n, netcfg=NetConfig(**cfg))
+
+
+def install_sink(node, kind=MessageKind.TEST):
+    """Register a handler that records (payload, time) tuples."""
+    log = []
+
+    def handler(msg):
+        log.append((msg.payload, node.sim.now))
+        return
+        yield  # pragma: no cover
+
+    node.register_handler(kind, handler)
+    return log
+
+
+def test_reliable_send_delivers_payload():
+    c = make_cluster()
+    log = install_sink(c[1])
+
+    def sender():
+        yield from c[0].send_reliable(1, MessageKind.TEST, {"x": 1}, size=100)
+
+    c.sim.spawn(sender())
+    c.run()
+    assert [p for p, _ in log] == [{"x": 1}]
+    assert c.stats.num_msg == 1
+    assert c.stats.data_bytes == 100
+    assert c.stats.acks == 1
+    assert c.stats.rexmit == 0
+
+
+def test_latency_accounts_for_size():
+    """A 1 MB message takes visibly longer than a 100 B one."""
+    c = make_cluster()
+    log = install_sink(c[1])
+
+    def sender():
+        yield from c[0].send_reliable(1, MessageKind.TEST, "small", size=100)
+        t_small = c.sim.now
+        yield from c[0].send_reliable(1, MessageKind.TEST, "big", size=1_000_000)
+        t_big = c.sim.now
+        assert (t_big - t_small) > 10 * t_small
+
+    c.sim.spawn(sender())
+    c.run()
+    assert [p for p, _ in log] == ["small", "big"]
+
+
+def test_request_reply_roundtrip():
+    c = make_cluster()
+
+    def echo_handler(msg):
+        c[1].reply_to(msg, MessageKind.TEST, msg.payload * 2, size=50)
+        return
+        yield  # pragma: no cover
+
+    c[1].register_handler(MessageKind.TEST, echo_handler)
+    out = []
+
+    def client():
+        reply = yield from c[0].request(1, MessageKind.TEST, 21, size=30)
+        out.append(reply.payload)
+
+    c.sim.spawn(client())
+    c.run()
+    assert out == [42]
+    assert c.stats.num_msg == 2  # request + reply
+    assert c.stats.data_bytes == 80
+
+
+def test_self_send_rejected():
+    c = make_cluster()
+    with pytest.raises(ValueError):
+        c[0].send_reliable(0, MessageKind.TEST, None, size=1)
+    with pytest.raises(ValueError):
+        c[0].request(0, MessageKind.TEST, None, size=1)
+
+
+def test_message_validation():
+    with pytest.raises(ValueError):
+        Message(src=0, dst=1, kind=MessageKind.TEST, payload=None, size=-5)
+    with pytest.raises(ValueError):
+        Message(src=3, dst=3, kind=MessageKind.TEST, payload=None, size=5)
+
+
+def test_unknown_kind_raises_via_run():
+    c = make_cluster()
+
+    def sender():
+        yield from c[0].send_reliable(1, MessageKind.TEST, None, size=10)
+
+    c.sim.spawn(sender())
+    with pytest.raises(Exception):
+        c.run()
+
+
+def test_buffer_overflow_drops_and_retransmission_recovers():
+    """Many senders bursting large messages into one node overflow its byte
+    buffer; reliable transport still delivers everything, at the cost of
+    rexmits and time."""
+    n = 16
+    c = Cluster(
+        n,
+        netcfg=NetConfig(
+            recv_buffer_bytes=16_000, red_threshold_bytes=8_000, rexmit_timeout=0.5
+        ),
+    )
+    log = install_sink(c[0])
+
+    def sender(i):
+        yield from c[i].send_reliable(0, MessageKind.TEST, i, size=4000)
+
+    for i in range(1, n):
+        c.sim.spawn(sender(i))
+    c.run()
+    assert sorted(p for p, _ in log) == list(range(1, n))
+    assert c.stats.drops > 0
+    assert c.stats.rexmit > 0
+    # every original message counted exactly once
+    assert c.stats.num_msg == n - 1
+
+
+def test_tiny_messages_never_congest():
+    """A burst of small control messages stays under the RED threshold."""
+    n = 16
+    c = Cluster(n, netcfg=NetConfig(recv_buffer_bytes=16_000, red_threshold_bytes=8_000))
+    log = install_sink(c[0])
+
+    def sender(i):
+        yield from c[i].send_reliable(0, MessageKind.TEST, i, size=16)
+
+    for i in range(1, n):
+        c.sim.spawn(sender(i))
+    c.run()
+    assert c.stats.drops == 0
+    assert c.stats.rexmit == 0
+    assert len(log) == n - 1
+
+
+def test_no_duplicate_delivery_under_loss():
+    """Duplicate suppression: even with heavy loss each payload arrives once."""
+    n = 12
+    c = Cluster(
+        n,
+        netcfg=NetConfig(
+            recv_buffer_bytes=6_000, red_threshold_bytes=2_000, rexmit_timeout=0.3
+        ),
+    )
+    log = install_sink(c[0])
+
+    def sender(i):
+        for k in range(3):
+            yield from c[i].send_reliable(0, MessageKind.TEST, (i, k), size=2000)
+
+    for i in range(1, n):
+        c.sim.spawn(sender(i))
+    c.run()
+    payloads = [p for p, _ in log]
+    assert len(payloads) == len(set(payloads)) == (n - 1) * 3
+
+
+def test_random_drop_is_seeded_and_deterministic():
+    def run_once():
+        c = Cluster(4, netcfg=NetConfig(random_drop_prob=0.2, drop_seed=7, rexmit_timeout=0.2))
+        install_sink(c[0])
+
+        def sender(i):
+            for k in range(10):
+                yield from c[i].send_reliable(0, MessageKind.TEST, (i, k), size=500)
+
+        for i in range(1, 4):
+            c.sim.spawn(sender(i))
+        c.run()
+        return (c.stats.rexmit, c.stats.drops, c.sim.now)
+
+    assert run_once() == run_once()
+
+
+def test_request_retry_when_reply_lost():
+    """With random loss, requests eventually complete and handlers run once."""
+    c = Cluster(2, netcfg=NetConfig(random_drop_prob=0.3, drop_seed=3, rexmit_timeout=0.2))
+    calls = []
+
+    def handler(msg):
+        calls.append(msg.payload)
+        c[1].reply_to(msg, MessageKind.TEST, "ok", size=10)
+        return
+        yield  # pragma: no cover
+
+    c[1].register_handler(MessageKind.TEST, handler)
+    replies = []
+
+    def client():
+        for k in range(20):
+            r = yield from c[0].request(1, MessageKind.TEST, k, size=10)
+            replies.append(r.payload)
+
+    c.sim.spawn(client())
+    c.run()
+    assert replies == ["ok"] * 20
+    # at-most-once execution: each request ran the handler exactly once
+    assert sorted(calls) == list(range(20))
+
+
+def test_rexmit_budget_exhaustion_raises():
+    from repro.net.transport import RequestError
+
+    c = Cluster(2, netcfg=NetConfig(random_drop_prob=1.0, rexmit_timeout=0.01, max_retries=3))
+    install_sink(c[1])
+    errors = []
+
+    def sender():
+        try:
+            yield from c[0].send_reliable(1, MessageKind.TEST, None, size=10)
+        except RequestError as exc:
+            errors.append(exc)
+
+    c.sim.spawn(sender())
+    c.run()
+    assert len(errors) == 1
+    assert c.stats.rexmit == 3
+
+
+def test_serial_dispatcher_orders_handlers():
+    """Handlers at one node run serially: total handling time accumulates."""
+    c = make_cluster(n=3)
+    done_times = []
+
+    def slow_handler(msg):
+        yield Timeout(0.010)
+        done_times.append(c.sim.now)
+
+    c[0].register_handler(MessageKind.TEST, slow_handler)
+
+    def sender(i):
+        yield from c[i].send_reliable(0, MessageKind.TEST, i, size=10)
+
+    c.sim.spawn(sender(1))
+    c.sim.spawn(sender(2))
+    c.run()
+    assert len(done_times) == 2
+    assert done_times[1] - done_times[0] >= 0.010  # strictly serialised
+
+
+def test_compute_charges_simulated_time():
+    c = make_cluster()
+    out = []
+
+    def proc():
+        yield from c[0].compute(0.5)
+        out.append(c.sim.now)
+        yield from c[0].compute_cycles(350e6)  # 1 second at 350 MHz
+        out.append(c.sim.now)
+        yield from c[0].copy_cost(80_000_000)  # 1 second at 80 MB/s
+        out.append(c.sim.now)
+
+    c.sim.spawn(proc())
+    c.run()
+    assert out == [0.5, 1.5, 2.5]
+
+
+def test_cluster_requires_positive_size():
+    with pytest.raises(ValueError):
+        Cluster(0)
+
+
+def test_stats_snapshot_roundtrip():
+    c = make_cluster()
+    install_sink(c[1])
+
+    def sender():
+        yield from c[0].send_reliable(1, MessageKind.TEST, None, size=64)
+
+    c.sim.spawn(sender())
+    c.run()
+    snap = c.stats.snapshot()
+    assert snap["num_msg"] == 1
+    assert snap["data_bytes"] == 64
+    assert snap["by_kind"] == {str(MessageKind.TEST): 1}

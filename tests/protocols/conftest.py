@@ -1,0 +1,34 @@
+"""Shared helpers for protocol tests."""
+
+import numpy as np
+import pytest
+
+from repro.protocols.system import DsmSystem
+
+
+def spawn_workers(system, worker_fn, nprocs=None):
+    """Spawn one worker generator per node; worker_fn(proto, rank)."""
+    n = nprocs if nprocs is not None else system.nprocs
+    procs = []
+    for rank in range(n):
+        proto = system.protocols[rank]
+        procs.append(system.sim.spawn(worker_fn(proto, rank), name=f"worker-{rank}"))
+    return procs
+
+
+def run_workers(system, worker_fn, nprocs=None):
+    """Spawn, run to completion, return worker results in rank order."""
+    procs = spawn_workers(system, worker_fn, nprocs)
+    system.run()
+    for p in procs:
+        assert p.finished, f"{p.name} did not finish (deadlock?)"
+    return [p.result for p in procs]
+
+
+def as_u8(values, dtype=np.int64):
+    """Encode scalars/arrays into the uint8 wire form used by write_bytes."""
+    return np.asarray(values, dtype=dtype).view(np.uint8).ravel()
+
+
+def from_u8(raw, dtype=np.int64):
+    return np.frombuffer(raw.tobytes(), dtype=dtype)

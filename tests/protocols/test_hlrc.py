@@ -1,0 +1,139 @@
+"""Tests for the home-based LRC protocol (HLRC_d)."""
+
+import numpy as np
+import pytest
+
+from repro.apps import gauss, is_sort, nn, sor
+from repro.apps.common import run_app
+from repro.net.config import NetConfig
+from repro.net.message import MessageKind
+from repro.protocols.system import DsmSystem
+from tests.protocols.conftest import as_u8, from_u8, run_workers
+
+IS_SMALL = is_sort.IsConfig(n_keys=1500, b_max=64, reps=3, bucket_views=4, work_factor=1.0)
+
+
+def make(n, **kw):
+    return DsmSystem(n, protocol="hlrc_d", page_size=kw.pop("page_size", 256), **kw)
+
+
+def test_basic_lock_data_transfer():
+    system = make(2)
+    system.alloc("x", 8)
+
+    def worker(p, rank):
+        if rank == 0:
+            yield from p.acquire_lock(0)
+            yield from p.mm.write_bytes(0, as_u8([42]))
+            yield from p.release_lock(0)
+        yield from p.barrier()
+        yield from p.acquire_lock(0)
+        raw = yield from p.mm.read_bytes(0, 8)
+        yield from p.release_lock(0)
+        return from_u8(raw)[0]
+
+    assert run_workers(system, worker) == [42, 42]
+
+
+def test_faults_fetch_full_pages_not_diffs():
+    system = make(3)
+    system.alloc("slots", 8 * 3)
+
+    def worker(p, rank):
+        yield from p.mm.write_bytes(8 * rank, as_u8([rank + 1]))
+        yield from p.barrier()
+        raw = yield from p.mm.read_bytes(0, 24)
+        yield from p.barrier()
+        return list(from_u8(raw))
+
+    results = run_workers(system, worker)
+    for r in results:
+        assert r == [1, 2, 3]
+    by_kind = system.stats.net.by_kind
+    # HLRC never requests diffs
+    assert str(MessageKind.DIFF_REQUEST) not in by_kind
+    assert system.stats.diff_requests == 0
+    # but it pushed diffs to homes and fetched pages
+    assert str(MessageKind.MERGE_VIEWS) in by_kind  # DIFF_PUSH channel
+    assert str(MessageKind.PAGE_REQUEST) in by_kind
+
+
+def test_multiple_writer_merge_at_home():
+    """False sharing: concurrent writers of one page; home merges pushes."""
+    n = 4
+    system = make(n)
+    region = system.alloc("slots", 8 * n)
+    assert len(set(region.page_range(256))) == 1
+
+    def worker(p, rank):
+        yield from p.mm.write_bytes(8 * rank, as_u8([(rank + 1) * 5]))
+        yield from p.barrier()
+        raw = yield from p.mm.read_bytes(0, 8 * n)
+        yield from p.barrier()
+        return list(from_u8(raw))
+
+    results = run_workers(system, worker)
+    for r in results:
+        assert r == [5, 10, 15, 20]
+
+
+def test_repeated_rounds_home_stays_current():
+    n = 3
+    system = make(n)
+    system.alloc("cells", 8 * n)
+
+    def worker(p, rank):
+        left = (rank - 1) % n
+        yield from p.mm.write_bytes(8 * rank, as_u8([rank]))
+        yield from p.barrier()
+        for _ in range(4):
+            # race-free phasing: everyone reads, barrier, everyone writes
+            raw = yield from p.mm.read_bytes(8 * left, 8)
+            neighbour = from_u8(raw)[0]
+            raw = yield from p.mm.read_bytes(8 * rank, 8)
+            mine = from_u8(raw)[0]
+            yield from p.barrier()
+            yield from p.mm.write_bytes(8 * rank, as_u8([mine + neighbour]))
+            yield from p.barrier()
+        raw = yield from p.mm.read_bytes(8 * rank, 8)
+        return from_u8(raw)[0]
+
+    expected = [0, 1, 2]
+    for _ in range(4):
+        expected = [expected[i] + expected[(i - 1) % n] for i in range(n)]
+    assert run_workers(system, worker) == expected
+
+
+@pytest.mark.parametrize("app,cfg", [
+    (is_sort, IS_SMALL),
+    (gauss, gauss.GaussConfig(n=20, work_factor=1.0)),
+    (sor, sor.SorConfig(rows=24, cols=16, iterations=2, work_factor=1.0)),
+    (nn, nn.NnConfig(n_samples=48, epochs=3, d_hidden=6, work_factor=1.0)),
+])
+def test_all_apps_correct_on_hlrc(app, cfg):
+    result = run_app(app, "hlrc_d", 4, cfg)
+    assert result.verified
+
+
+def test_correct_under_injected_loss():
+    """Push/notice races under loss: ordering guard must hold."""
+    netcfg = NetConfig(random_drop_prob=0.05, drop_seed=17, rexmit_timeout=0.1)
+    result = run_app(is_sort, "hlrc_d", 4, IS_SMALL, netcfg=netcfg)
+    assert result.verified
+    assert result.stats.net.rexmit > 0
+
+
+def test_hlrc_vs_lrc_tradeoff_on_is():
+    """HLRC removes diff-request round trips but moves more eager data."""
+    lrc = run_app(is_sort, "lrc_d", 4, IS_SMALL)
+    hlrc = run_app(is_sort, "hlrc_d", 4, IS_SMALL)
+    assert hlrc.stats.diff_requests == 0
+    assert lrc.stats.diff_requests > 0
+
+
+def test_traditional_system_accepts_hlrc():
+    from repro.core import TraditionalSystem, make_system
+
+    assert isinstance(make_system(2, "hlrc_d"), TraditionalSystem)
+    with pytest.raises(ValueError):
+        TraditionalSystem(2, protocol="vc_sd")

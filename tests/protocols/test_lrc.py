@@ -1,0 +1,211 @@
+"""Tests for the LRC_d protocol: locks, barriers, invalidate/diff machinery."""
+
+import numpy as np
+import pytest
+
+from repro.net.config import NetConfig
+from repro.protocols.system import DsmSystem
+from tests.protocols.conftest import as_u8, from_u8, run_workers
+
+
+def make(n, **kw):
+    return DsmSystem(n, protocol="lrc_d", page_size=kw.pop("page_size", 256), **kw)
+
+
+def test_single_node_runs_locally():
+    system = make(1)
+    system.alloc("x", 8)
+
+    def worker(proto, rank):
+        yield from proto.acquire_lock(0)
+        yield from proto.mm.write_bytes(0, as_u8([42]))
+        yield from proto.release_lock(0)
+        yield from proto.barrier()
+        raw = yield from proto.mm.read_bytes(0, 8)
+        return from_u8(raw)[0]
+
+    assert run_workers(system, worker) == [42]
+    assert system.stats.net.num_msg == 0  # everything local
+
+
+def test_lock_transfers_data_between_nodes():
+    system = make(2)
+    system.alloc("x", 8)
+
+    def worker(proto, rank):
+        if rank == 0:
+            yield from proto.acquire_lock(0)
+            yield from proto.mm.write_bytes(0, as_u8([7]))
+            yield from proto.release_lock(0)
+        yield from proto.barrier()
+        yield from proto.acquire_lock(0)
+        raw = yield from proto.mm.read_bytes(0, 8)
+        value = from_u8(raw)[0]
+        yield from proto.mm.write_bytes(0, as_u8([value + 1]))
+        yield from proto.release_lock(0)
+        yield from proto.barrier()
+        yield from proto.acquire_lock(0)
+        raw = yield from proto.mm.read_bytes(0, 8)
+        yield from proto.release_lock(0)
+        return from_u8(raw)[0]
+
+    results = run_workers(system, worker)
+    # both increments landed: 7 + 1 + 1
+    assert results == [9, 9]
+
+
+def test_lock_mutual_exclusion_counter():
+    """Classic lock-protected counter: no lost updates across 4 nodes."""
+    system = make(4)
+    system.alloc("counter", 8)
+    increments = 5
+
+    def worker(proto, rank):
+        for _ in range(increments):
+            yield from proto.acquire_lock(3)  # manager is node 3
+            raw = yield from proto.mm.read_bytes(0, 8)
+            value = from_u8(raw)[0]
+            yield from proto.mm.write_bytes(0, as_u8([value + 1]))
+            yield from proto.release_lock(3)
+        yield from proto.barrier()
+        yield from proto.acquire_lock(3)
+        raw = yield from proto.mm.read_bytes(0, 8)
+        yield from proto.release_lock(3)
+        return from_u8(raw)[0]
+
+    results = run_workers(system, worker)
+    assert results == [20, 20, 20, 20]
+
+
+def test_barrier_propagates_writes_of_all_nodes():
+    """Each node writes its slot; after the barrier everyone reads all slots."""
+    n = 4
+    system = make(n)
+    system.alloc("slots", 8 * n)
+
+    def worker(proto, rank):
+        yield from proto.mm.write_bytes(8 * rank, as_u8([rank * 10]))
+        yield from proto.barrier()
+        raw = yield from proto.mm.read_bytes(0, 8 * n)
+        return list(from_u8(raw))
+
+    results = run_workers(system, worker)
+    for r in results:
+        assert r == [0, 10, 20, 30]
+
+
+def test_false_sharing_multiple_writers_one_page():
+    """All slots land on ONE page: the multiple-writer protocol must merge
+    concurrent diffs of the same page correctly."""
+    n = 4
+    system = make(n)
+    region = system.alloc("slots", 8 * n)
+    pids = set(region.page_range(system.space.page_size))
+    assert len(pids) == 1  # precondition: genuine false sharing
+
+    def worker(proto, rank):
+        yield from proto.mm.write_bytes(8 * rank, as_u8([rank + 1]))
+        yield from proto.barrier()
+        raw = yield from proto.mm.read_bytes(0, 8 * n)
+        yield from proto.barrier()
+        return list(from_u8(raw))
+
+    results = run_workers(system, worker)
+    for r in results:
+        assert r == [1, 2, 3, 4]
+    # merging required diff requests
+    assert system.stats.diff_requests > 0
+
+
+def test_repeated_barrier_rounds_accumulate_correctly():
+    """SOR-like pattern: each round reads a neighbour's value, writes own."""
+    n = 3
+    rounds = 4
+    system = make(n)
+    system.alloc("cells", 8 * n)
+
+    def worker(proto, rank):
+        left = (rank - 1) % n
+        yield from proto.mm.write_bytes(8 * rank, as_u8([rank]))
+        yield from proto.barrier()
+        for _ in range(rounds):
+            # race-free phasing: read everything, barrier, then write
+            raw = yield from proto.mm.read_bytes(8 * left, 8)
+            neighbour = from_u8(raw)[0]
+            raw = yield from proto.mm.read_bytes(8 * rank, 8)
+            mine = from_u8(raw)[0]
+            yield from proto.barrier()
+            yield from proto.mm.write_bytes(8 * rank, as_u8([mine + neighbour]))
+            yield from proto.barrier()
+        raw = yield from proto.mm.read_bytes(8 * rank, 8)
+        return from_u8(raw)[0]
+
+    expected = [0, 1, 2]
+    for _ in range(rounds):
+        expected = [expected[i] + expected[(i - 1) % n] for i in range(n)]
+    assert run_workers(system, worker) == expected
+
+
+def test_barrier_counts_and_times_recorded():
+    system = make(3)
+    system.alloc("x", 8)
+
+    def worker(proto, rank):
+        yield from proto.barrier()
+        yield from proto.barrier()
+
+    run_workers(system, worker)
+    assert system.stats.barriers == 2
+    assert system.stats.barrier_time_n == 6  # 2 barriers x 3 nodes
+    assert system.stats.barrier_time_avg > 0
+
+
+def test_acquires_counted_as_messages_only():
+    system = make(2)
+    system.alloc("x", 8)
+
+    def worker(proto, rank):
+        # lock 0 is managed by node 0: node 0's acquires are local
+        yield from proto.acquire_lock(0)
+        yield from proto.mm.write_bytes(0, as_u8([rank]))
+        yield from proto.release_lock(0)
+        yield from proto.barrier()
+
+    run_workers(system, worker)
+    assert system.stats.acquires == 1  # only node 1 sent an acquire message
+
+
+def test_first_touch_zero_fill_without_network():
+    system = make(2)
+    system.alloc("a", 256)
+    system.alloc("b", 256)
+
+    def worker(proto, rank):
+        # each node touches a page nobody else ever uses
+        addr = 0 if rank == 0 else 256
+        raw = yield from proto.mm.read_bytes(addr, 8)
+        yield from proto.barrier()
+        return from_u8(raw)[0]
+
+    assert run_workers(system, worker) == [0, 0]
+    # no diff/page traffic, only barrier messages
+    assert system.stats.diff_requests == 0
+
+
+def test_unknown_protocol_name_rejected():
+    with pytest.raises(ValueError):
+        DsmSystem(2, protocol="nope")
+
+
+def test_stats_table_row_shape():
+    system = make(2)
+    system.alloc("x", 8)
+
+    def worker(proto, rank):
+        yield from proto.barrier()
+
+    run_workers(system, worker)
+    row = system.stats.table_row()
+    for key in ("Time (Sec.)", "Barriers", "Acquires", "Data (MByte)",
+                "Num. Msg", "Diff Requests", "Barrier Time (usec.)", "Rexmit"):
+        assert key in row

@@ -1,0 +1,92 @@
+"""Unit + property tests for vector clocks and interval notices."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.protocols.timestamps import (
+    NOTICE_BASE_BYTES,
+    NOTICE_PER_PAGE_BYTES,
+    IntervalNotice,
+    VectorClock,
+    notices_wire_size,
+)
+
+
+def test_vector_clock_initial_state():
+    vc = VectorClock(4)
+    assert len(vc) == 4
+    assert all(vc[i] == 0 for i in range(4))
+    assert vc.wire_size == 16
+
+
+def test_advance_is_monotone():
+    vc = VectorClock(2)
+    vc.advance(0, 5)
+    vc.advance(0, 3)  # lower index must not regress
+    assert vc[0] == 5
+
+
+def test_merge_takes_elementwise_max():
+    vc = VectorClock(3)
+    vc.advance(0, 2)
+    vc.merge([1, 4, 0])
+    assert vc.copy() == [2, 4, 0]
+
+
+def test_merge_length_mismatch_rejected():
+    vc = VectorClock(2)
+    with pytest.raises(ValueError):
+        vc.merge([1, 2, 3])
+
+
+def test_dominates():
+    a = VectorClock(2)
+    a.merge([2, 3])
+    assert a.dominates([2, 3])
+    assert a.dominates([1, 0])
+    assert not a.dominates([3, 0])
+
+
+def test_notice_wire_size():
+    n = IntervalNotice(node=1, idx=2, lamport=3, pages=(4, 5, 6))
+    assert n.wire_size == NOTICE_BASE_BYTES + 3 * NOTICE_PER_PAGE_BYTES
+    assert notices_wire_size([n, n]) == 2 * n.wire_size
+
+
+def test_notice_ordering_is_lamport_then_node():
+    a = IntervalNotice(node=2, idx=1, lamport=5, pages=(1,))
+    b = IntervalNotice(node=1, idx=9, lamport=5, pages=(1,))
+    c = IntervalNotice(node=0, idx=1, lamport=7, pages=(1,))
+    ordered = sorted([c, a, b], key=lambda n: n.order())
+    assert ordered == [b, a, c]
+
+
+@given(
+    updates=st.lists(
+        st.tuples(st.integers(0, 3), st.integers(0, 100)), min_size=0, max_size=40
+    )
+)
+@settings(max_examples=50)
+def test_prop_vector_clock_is_least_upper_bound(updates):
+    """After any update sequence, vc[i] == max index seen for i."""
+    vc = VectorClock(4)
+    highest = [0, 0, 0, 0]
+    for node, idx in updates:
+        vc.advance(node, idx)
+        highest[node] = max(highest[node], idx)
+    assert vc.copy() == highest
+    assert vc.dominates(highest)
+
+
+@given(
+    a=st.lists(st.integers(0, 50), min_size=4, max_size=4),
+    b=st.lists(st.integers(0, 50), min_size=4, max_size=4),
+)
+@settings(max_examples=50)
+def test_prop_merge_dominates_both(a, b):
+    vc = VectorClock(4)
+    vc.merge(a)
+    vc.merge(b)
+    assert vc.dominates(a)
+    assert vc.dominates(b)
+    assert vc.copy() == [max(x, y) for x, y in zip(a, b)]

@@ -1,0 +1,286 @@
+"""Tests for VC_d and VC_sd: view acquire/release, Rviews, discipline checks."""
+
+import numpy as np
+import pytest
+
+from repro.protocols.base import ViewOverlapError, VoppDisciplineError
+from repro.protocols.system import DsmSystem
+from repro.sim.engine import SimError
+from tests.protocols.conftest import as_u8, from_u8, run_workers
+
+PROTOS = ["vc_d", "vc_sd"]
+
+
+def make(n, proto, **kw):
+    return DsmSystem(n, protocol=proto, page_size=kw.pop("page_size", 256), **kw)
+
+
+@pytest.mark.parametrize("proto", PROTOS)
+def test_view_transfers_data(proto):
+    system = make(2, proto)
+    system.alloc("x", 8, page_aligned=True)
+
+    def worker(p, rank):
+        if rank == 0:
+            yield from p.acquire_view(5)
+            yield from p.mm.write_bytes(0, as_u8([123]))
+            yield from p.release_view(5)
+        yield from p.barrier()
+        yield from p.acquire_view(5)
+        raw = yield from p.mm.read_bytes(0, 8)
+        yield from p.release_view(5)
+        yield from p.barrier()
+        return from_u8(raw)[0]
+
+    assert run_workers(system, worker) == [123, 123]
+
+
+@pytest.mark.parametrize("proto", PROTOS)
+def test_view_counter_no_lost_updates(proto):
+    n = 4
+    system = make(n, proto)
+    system.alloc("counter", 8, page_aligned=True)
+    increments = 6
+
+    def worker(p, rank):
+        for _ in range(increments):
+            yield from p.acquire_view(1)
+            raw = yield from p.mm.read_bytes(0, 8)
+            value = from_u8(raw)[0]
+            yield from p.mm.write_bytes(0, as_u8([value + 1]))
+            yield from p.release_view(1)
+        yield from p.barrier()
+        yield from p.acquire_view(1)
+        raw = yield from p.mm.read_bytes(0, 8)
+        yield from p.release_view(1)
+        return from_u8(raw)[0]
+
+    assert run_workers(system, worker) == [n * increments] * n
+
+
+@pytest.mark.parametrize("proto", PROTOS)
+def test_per_processor_views(proto):
+    """The Gauss §3.1 pattern: one view per processor + read-all at the end."""
+    n = 3
+    system = make(n, proto)
+    for i in range(n):
+        system.alloc(f"v{i}", 16, page_aligned=True)
+
+    def worker(p, rank):
+        base = system.space.region(f"v{rank}").base
+        yield from p.acquire_view(rank)
+        yield from p.mm.write_bytes(base, as_u8([rank * 11, rank * 22], dtype=np.int64))
+        yield from p.release_view(rank)
+        yield from p.barrier()
+        collected = []
+        if rank == 0:
+            for j in range(n):
+                yield from p.acquire_rview(j)
+            for j in range(n):
+                base_j = system.space.region(f"v{j}").base
+                raw = yield from p.mm.read_bytes(base_j, 16)
+                collected.extend(from_u8(raw))
+            for j in range(n):
+                yield from p.release_rview(j)
+        yield from p.barrier()
+        return collected
+
+    results = run_workers(system, worker)
+    assert results[0] == [0, 0, 11, 22, 22, 44]
+
+
+@pytest.mark.parametrize("proto", PROTOS)
+def test_rviews_grant_concurrently(proto):
+    """All nodes hold the Rview at the same time (readers don't serialise)."""
+    n = 4
+    system = make(n, proto)
+    system.alloc("shared", 8, page_aligned=True)
+    hold_times = {}
+
+    def worker(p, rank):
+        if rank == 0:
+            yield from p.acquire_view(0)
+            yield from p.mm.write_bytes(0, as_u8([5]))
+            yield from p.release_view(0)
+        yield from p.barrier()
+        yield from p.acquire_rview(0)
+        t_in = p.node.sim.now
+        raw = yield from p.mm.read_bytes(0, 8)
+        # hold the view for a while: readers must overlap
+        yield from p.node.compute(1.0)
+        t_out = p.node.sim.now
+        yield from p.release_rview(0)
+        hold_times[rank] = (t_in, t_out)
+        yield from p.barrier()
+        return from_u8(raw)[0]
+
+    results = run_workers(system, worker)
+    assert results == [5] * n
+    # overlap check: the intersection of all hold windows is non-empty
+    latest_in = max(t for t, _ in hold_times.values())
+    earliest_out = min(t for _, t in hold_times.values())
+    assert latest_in < earliest_out
+
+
+@pytest.mark.parametrize("proto", PROTOS)
+def test_write_without_view_raises(proto):
+    system = make(2, proto)
+    system.alloc("x", 8, page_aligned=True)
+
+    def worker(p, rank):
+        if rank == 0:
+            yield from p.mm.write_bytes(0, as_u8([1]))
+        yield from p.barrier()
+
+    with pytest.raises(SimError) as excinfo:
+        run_workers(system, worker)
+    assert isinstance(excinfo.value.__cause__, VoppDisciplineError)
+
+
+@pytest.mark.parametrize("proto", PROTOS)
+def test_read_without_view_raises(proto):
+    system = make(2, proto)
+    system.alloc("x", 8, page_aligned=True)
+
+    def worker(p, rank):
+        if rank == 0:
+            yield from p.mm.read_bytes(0, 8)
+        yield from p.barrier()
+
+    with pytest.raises(SimError) as excinfo:
+        run_workers(system, worker)
+    assert isinstance(excinfo.value.__cause__, VoppDisciplineError)
+
+
+@pytest.mark.parametrize("proto", PROTOS)
+def test_nested_exclusive_acquire_raises(proto):
+    system = make(1, proto)
+    system.alloc("x", 8, page_aligned=True)
+
+    def worker(p, rank):
+        yield from p.acquire_view(0)
+        yield from p.acquire_view(1)
+
+    with pytest.raises(SimError) as excinfo:
+        run_workers(system, worker)
+    assert isinstance(excinfo.value.__cause__, VoppDisciplineError)
+
+
+@pytest.mark.parametrize("proto", PROTOS)
+def test_view_overlap_detected(proto):
+    """Writing one page under two different views must raise."""
+    system = make(1, proto)
+    system.alloc("x", 8)  # packed: same page reachable from both views
+
+    def worker(p, rank):
+        yield from p.acquire_view(0)
+        yield from p.mm.write_bytes(0, as_u8([1]))
+        yield from p.release_view(0)
+        yield from p.acquire_view(1)
+        yield from p.mm.write_bytes(0, as_u8([2]))
+        yield from p.release_view(1)
+
+    with pytest.raises(SimError) as excinfo:
+        run_workers(system, worker)
+    assert isinstance(excinfo.value.__cause__, ViewOverlapError)
+
+
+@pytest.mark.parametrize("proto", PROTOS)
+def test_write_under_rview_only_raises(proto):
+    system = make(1, proto)
+    system.alloc("x", 8, page_aligned=True)
+
+    def worker(p, rank):
+        yield from p.acquire_rview(0)
+        yield from p.mm.write_bytes(0, as_u8([1]))
+        yield from p.release_rview(0)
+
+    with pytest.raises(SimError) as excinfo:
+        run_workers(system, worker)
+    assert isinstance(excinfo.value.__cause__, VoppDisciplineError)
+
+
+@pytest.mark.parametrize("proto", PROTOS)
+def test_release_unheld_view_raises(proto):
+    system = make(1, proto)
+
+    def worker(p, rank):
+        yield from p.release_view(0)
+
+    with pytest.raises(SimError) as excinfo:
+        run_workers(system, worker)
+    assert isinstance(excinfo.value.__cause__, VoppDisciplineError)
+
+
+def test_vc_sd_has_zero_diff_requests_where_vc_d_does_not():
+    """The headline mechanism: same program, diff requests only under VC_d."""
+
+    def program(system):
+        system.alloc("acc", 8, page_aligned=True)
+
+        def worker(p, rank):
+            for _ in range(4):
+                yield from p.acquire_view(0)
+                raw = yield from p.mm.read_bytes(0, 8)
+                value = from_u8(raw)[0]
+                yield from p.mm.write_bytes(0, as_u8([value + 1]))
+                yield from p.release_view(0)
+            yield from p.barrier()
+
+        run_workers(system, worker)
+        return system.stats
+
+    stats_d = program(make(4, "vc_d"))
+    stats_sd = program(make(4, "vc_sd"))
+    assert stats_d.diff_requests > 0
+    assert stats_sd.diff_requests == 0
+    assert stats_sd.net.num_msg < stats_d.net.num_msg
+
+
+def test_vc_barrier_carries_no_notices():
+    """VC barrier messages are tiny control messages regardless of writes."""
+    system = make(4, "vc_d")
+    system.alloc("x", 2048, page_aligned=True)
+
+    def worker(p, rank):
+        yield from p.acquire_view(0)
+        if rank == 0:
+            yield from p.mm.write_bytes(0, np.arange(2048, dtype=np.uint8))
+        else:
+            yield from p.mm.read_bytes(0, 8)
+        yield from p.release_view(0)
+        yield from p.barrier()
+
+    run_workers(system, worker)
+    from repro.net.message import MessageKind
+
+    by_kind = system.stats.net.by_kind
+    # 3 arrivals + 3 releases, each 16 bytes of control payload
+    assert by_kind[str(MessageKind.BARRIER_ARRIVE)] == 3
+    assert by_kind[str(MessageKind.BARRIER_RELEASE)] == 3
+
+
+@pytest.mark.parametrize("proto", PROTOS)
+def test_view_manager_distribution(proto):
+    system = make(4, proto)
+    assert [system.view_manager(v) for v in range(6)] == [0, 1, 2, 3, 0, 1]
+
+
+def test_vc_sd_ablation_piggyback_off_behaves_like_vc_d():
+    system = make(2, "vc_sd")
+    for p in system.protocols:
+        p.piggyback_enabled = False
+    system.alloc("x", 8, page_aligned=True)
+
+    def worker(p, rank):
+        for _ in range(3):
+            yield from p.acquire_view(0)
+            raw = yield from p.mm.read_bytes(0, 8)
+            value = from_u8(raw)[0]
+            yield from p.mm.write_bytes(0, as_u8([value + 1]))
+            yield from p.release_view(0)
+        yield from p.barrier()
+        return None
+
+    run_workers(system, worker)
+    assert system.stats.diff_requests > 0  # invalidate protocol re-enabled

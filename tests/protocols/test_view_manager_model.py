@@ -1,0 +1,80 @@
+"""Model-based property test of the view manager.
+
+Hypothesis generates random per-node access scripts (exclusive/read
+acquisitions of random views with random hold times); the run must satisfy
+the view-manager invariants for every generated schedule:
+
+* mutual exclusion — never two exclusive holders, never a reader alongside
+  a writer;
+* progress — every script runs to completion (no lost wakeups/deadlock);
+* data integrity — a counter incremented under exclusive access never loses
+  an update.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.protocols.system import DsmSystem
+from tests.protocols.conftest import as_u8, from_u8, run_workers
+
+N_VIEWS = 3
+
+step = st.tuples(
+    st.integers(0, N_VIEWS - 1),  # view
+    st.sampled_from(["w", "r"]),  # mode
+    st.integers(0, 3),  # hold time (ms)
+)
+script = st.lists(step, min_size=1, max_size=6)
+
+
+@given(scripts=st.lists(script, min_size=2, max_size=4), proto=st.sampled_from(["vc_d", "vc_sd"]))
+@settings(max_examples=30, deadline=None)
+def test_prop_view_manager_invariants(scripts, proto):
+    nprocs = len(scripts)
+    system = DsmSystem(nprocs, protocol=proto, page_size=256)
+    counters = [system.alloc(f"c{v}", 8, page_aligned=True) for v in range(N_VIEWS)]
+    # live occupancy per view: ("w", node) entries / ("r", node) entries
+    holders: dict[int, list] = {v: [] for v in range(N_VIEWS)}
+    violations: list[str] = []
+    expected_increments = [0] * N_VIEWS
+
+    def worker(p, rank):
+        for view, mode, hold_ms in scripts[rank]:
+            if mode == "w":
+                yield from p.acquire_view(view)
+                if any(m == "w" for m, _ in holders[view]) or any(
+                    m == "r" for m, _ in holders[view]
+                ):
+                    violations.append(f"writer {rank} entered busy view {view}")
+                holders[view].append(("w", rank))
+                base = counters[view].base
+                raw = yield from p.mm.read_bytes(base, 8)
+                yield from p.mm.write_bytes(base, as_u8([from_u8(raw)[0] + 1]))
+                yield from p.node.compute(hold_ms / 1000.0)
+                holders[view].remove(("w", rank))
+                yield from p.release_view(view)
+            else:
+                yield from p.acquire_rview(view)
+                if any(m == "w" for m, _ in holders[view]):
+                    violations.append(f"reader {rank} entered written view {view}")
+                holders[view].append(("r", rank))
+                yield from p.node.compute(hold_ms / 1000.0)
+                holders[view].remove(("r", rank))
+                yield from p.release_rview(view)
+        yield from p.barrier()
+        if rank == 0:
+            finals = []
+            for v in range(N_VIEWS):
+                yield from p.acquire_rview(v)
+                raw = yield from p.mm.read_bytes(counters[v].base, 8)
+                finals.append(int(from_u8(raw)[0]))
+                yield from p.release_rview(v)
+            return finals
+
+    for r, s in enumerate(scripts):
+        for view, mode, _ in s:
+            if mode == "w":
+                expected_increments[view] += 1
+
+    results = run_workers(system, worker)  # progress: raises on deadlock
+    assert not violations, violations
+    assert results[0] == expected_increments  # no lost updates

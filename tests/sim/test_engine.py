@@ -1,0 +1,275 @@
+"""Unit tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.sim import Simulator, Timeout, SimError, Interrupt
+
+
+def test_empty_run_finishes_at_zero():
+    sim = Simulator()
+    assert sim.run() == 0.0
+    assert sim.now == 0.0
+
+
+def test_single_timeout_advances_clock():
+    sim = Simulator()
+    seen = []
+
+    def proc():
+        yield Timeout(2.5)
+        seen.append(sim.now)
+
+    sim.spawn(proc())
+    sim.run()
+    assert seen == [2.5]
+    assert sim.now == 2.5
+
+
+def test_timeout_returns_value():
+    sim = Simulator()
+    out = []
+
+    def proc():
+        out.append((yield Timeout(1.0, value="hello")))
+
+    sim.spawn(proc())
+    sim.run()
+    assert out == ["hello"]
+
+
+def test_negative_timeout_rejected():
+    with pytest.raises(SimError):
+        Timeout(-1.0)
+
+
+def test_fifo_order_for_simultaneous_events():
+    sim = Simulator()
+    order = []
+
+    def proc(tag):
+        yield Timeout(1.0)
+        order.append(tag)
+
+    for tag in range(5):
+        sim.spawn(proc(tag))
+    sim.run()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_interleaving_is_deterministic():
+    def run_once():
+        sim = Simulator()
+        trace = []
+
+        def a():
+            for i in range(3):
+                yield Timeout(1.0)
+                trace.append(("a", sim.now))
+
+        def b():
+            for i in range(3):
+                yield Timeout(1.5)
+                trace.append(("b", sim.now))
+
+        sim.spawn(a())
+        sim.spawn(b())
+        sim.run()
+        return trace
+
+    assert run_once() == run_once()
+    assert run_once() == [
+        ("a", 1.0),
+        ("b", 1.5),
+        ("a", 2.0),
+        ("b", 3.0),  # b's wake-up was scheduled at t=1.5, before a's at t=2.0
+        ("a", 3.0),
+        ("b", 4.5),
+    ]
+
+
+def test_fork_and_join():
+    sim = Simulator()
+    results = []
+
+    def child(n):
+        yield Timeout(n)
+        return n * 10
+
+    def parent():
+        c1 = yield sim.fork(child(1))
+        c2 = yield sim.fork(child(2))
+        results.append((yield c2.join()))
+        results.append((yield c1.join()))
+
+    sim.spawn(parent())
+    sim.run()
+    assert results == [20, 10]
+    assert sim.now == 2.0
+
+
+def test_join_already_finished_process():
+    sim = Simulator()
+    out = []
+
+    def quick():
+        yield Timeout(0)
+        return "done"
+
+    def waiter(proc):
+        yield Timeout(5.0)
+        out.append((yield proc.join()))
+
+    p = sim.spawn(quick())
+    sim.spawn(waiter(p))
+    sim.run()
+    assert out == ["done"]
+
+
+def test_all_of_helper():
+    sim = Simulator()
+    collected = []
+
+    def child(n):
+        yield Timeout(n)
+        return n
+
+    def parent():
+        procs = []
+        for n in (3, 1, 2):
+            procs.append((yield sim.fork(child(n))))
+        collected.extend((yield from sim.all_of(procs)))
+
+    sim.spawn(parent())
+    sim.run()
+    assert collected == [3, 1, 2]
+
+
+def test_exception_in_process_propagates_from_run():
+    sim = Simulator()
+
+    def bad():
+        yield Timeout(1.0)
+        raise ValueError("boom")
+
+    sim.spawn(bad())
+    with pytest.raises(SimError) as excinfo:
+        sim.run()
+    assert isinstance(excinfo.value.__cause__, ValueError)
+
+
+def test_yielding_non_effect_is_an_error():
+    sim = Simulator()
+
+    def bad():
+        yield 42
+
+    sim.spawn(bad())
+    with pytest.raises(SimError):
+        sim.run()
+
+
+def test_run_until_stops_clock():
+    sim = Simulator()
+    ticks = []
+
+    def ticker():
+        while True:
+            yield Timeout(1.0)
+            ticks.append(sim.now)
+
+    sim.spawn(ticker())
+    sim.run(until=3.5)
+    assert ticks == [1.0, 2.0, 3.0]
+    assert sim.now == 3.5
+
+
+def test_interrupt_wakes_blocked_process():
+    sim = Simulator()
+    log = []
+
+    def sleeper():
+        try:
+            yield Timeout(100.0)
+            log.append("slept")
+        except Interrupt as exc:
+            log.append(("interrupted", exc.cause, sim.now))
+
+    def killer(target):
+        yield Timeout(2.0)
+        target.interrupt("stop")
+
+    p = sim.spawn(sleeper())
+    sim.spawn(killer(p))
+    sim.run()
+    assert log == [("interrupted", "stop", 2.0)]
+
+
+def test_interrupt_finished_process_is_noop():
+    sim = Simulator()
+
+    def quick():
+        yield Timeout(0)
+
+    p = sim.spawn(quick())
+    sim.run()
+    p.interrupt("late")
+    sim.run()  # must not blow up
+    assert p.finished
+
+
+def test_live_process_count():
+    sim = Simulator()
+
+    def child():
+        yield Timeout(1.0)
+
+    sim.spawn(child())
+    sim.spawn(child())
+    assert sim.live_processes == 2
+    sim.run()
+    assert sim.live_processes == 0
+
+
+def test_schedule_in_past_rejected():
+    sim = Simulator()
+    with pytest.raises(SimError):
+        sim.schedule(-0.1, lambda: None)
+
+
+def test_nested_yield_from_composition():
+    sim = Simulator()
+    out = []
+
+    def inner():
+        yield Timeout(1.0)
+        return "inner-done"
+
+    def middle():
+        rv = yield from inner()
+        yield Timeout(1.0)
+        return rv + "+middle"
+
+    def outer():
+        rv = yield from middle()
+        out.append((rv, sim.now))
+
+    sim.spawn(outer())
+    sim.run()
+    assert out == [("inner-done+middle", 2.0)]
+
+
+def test_process_return_value_via_stopiteration():
+    sim = Simulator()
+    holder = []
+
+    def child():
+        yield Timeout(0)
+        return {"k": 1}
+
+    def parent():
+        p = yield sim.fork(child())
+        holder.append((yield p.join()))
+
+    sim.spawn(parent())
+    sim.run()
+    assert holder == [{"k": 1}]

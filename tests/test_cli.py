@@ -1,0 +1,58 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "is" in out and "gauss" in out and "sor" in out and "nn" in out
+    assert "vc_sd" in out
+
+
+def test_run_command_prints_stats(capsys):
+    assert main(["run", "sor", "--protocol", "vc_sd", "--nprocs", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "verified against sequential reference" in out
+    assert "Time (Sec.)" in out
+    assert "Num. Msg" in out
+
+
+def test_run_with_variant(capsys):
+    assert main(["run", "is", "--protocol", "vc_sd", "--nprocs", "2", "--variant", "lb"]) == 0
+    assert "verified" in capsys.readouterr().out
+
+
+def test_run_mpi_on_non_nn_rejected(capsys):
+    assert main(["run", "is", "--protocol", "mpi", "--nprocs", "2"]) == 2
+    assert "no MPI version" in capsys.readouterr().err
+
+
+def test_sweep_command(capsys):
+    assert main(["sweep", "sor", "--protocols", "vc_sd", "--procs", "2", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "2-p" in out and "3-p" in out
+    assert "vc_sd" in out
+
+
+def test_sweep_mpi_on_non_nn_rejected(capsys):
+    assert main(["sweep", "gauss", "--protocols", "mpi", "--procs", "2"]) == 2
+
+
+def test_invalid_app_rejected():
+    with pytest.raises(SystemExit):
+        main(["run", "nosuchapp"])
+
+
+def test_invalid_table_rejected():
+    with pytest.raises(SystemExit):
+        main(["table", "10"])
+
+
+def test_parser_has_all_commands():
+    parser = build_parser()
+    text = parser.format_help()
+    for cmd in ("run", "table", "sweep", "list"):
+        assert cmd in text
