@@ -1,0 +1,49 @@
+"""Hot-path wall-clock benchmark: the Table-1 IS workload timed on the host.
+
+Unlike the table benches (which report *simulated* statistics), this target
+measures how fast the simulator itself runs: wall seconds, executed events
+and events/sec for IS on 16 processors under LRC_d / VC_d / VC_sd with the
+default seed.  ``python -m repro.bench.perf`` produces the same report as
+``BENCH_hotpath.json``; the repo-root copy is the recorded baseline to
+compare against.
+"""
+
+import json
+
+from repro.bench.perf import run_hotpath_benchmark
+from benchmarks.conftest import attach, run_once
+
+NPROCS = 16
+
+
+def test_perf_hotpath(benchmark):
+    report = run_once(benchmark, lambda: run_hotpath_benchmark(nprocs=NPROCS))
+
+    # the report is the artefact — it must round-trip through JSON
+    json.loads(json.dumps(report))
+
+    lines = [f"Hot-path perf: IS on {NPROCS} processors (seed {report['seed']})"]
+    for label, row in report["protocols"].items():
+        lines.append(
+            f"  {label:<6} {row['wall_seconds']:>8.3f} s wall   "
+            f"{row['events']:>9,} events   {row['events_per_sec']:>10,} ev/s"
+        )
+    lines.append(
+        f"  total  {report['wall_seconds']:>8.3f} s wall   "
+        f"{report['events']:>9,} events   {report['events_per_sec']:>10,} ev/s   "
+        f"peak RSS {report['peak_rss_kb']:,} KiB"
+    )
+    attach(
+        benchmark,
+        "\n".join(lines),
+        {
+            "wall_seconds": report["wall_seconds"],
+            "events": report["events"],
+            "events_per_sec": report["events_per_sec"],
+            "peak_rss_kb": report["peak_rss_kb"],
+        },
+    )
+
+    assert report["events"] > 0
+    assert report["events_per_sec"] > 0
+    assert all(row["verified"] for row in report["protocols"].values())

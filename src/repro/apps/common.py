@@ -62,6 +62,7 @@ class AppResult:
     stats: Any  # RunStats (DSM) or NetStats-like (MPI)
     time: float
     verified: bool = False
+    events: int = 0  # simulator callbacks executed (perf-harness denominator)
 
     def table_row(self) -> dict:
         if hasattr(self.stats, "table_row"):
@@ -91,14 +92,18 @@ def run_app(
         system = MpiSystem(nprocs, netcfg=netcfg, nodecfg=nodecfg)
         output = app_module.run_mpi(system, config)
         result = AppResult(
-            protocol, nprocs, output, system.stats, system.time
+            protocol, nprocs, output, system.stats, system.time,
+            events=system.cluster.sim.events_processed,
         )
     else:
         system = make_system(nprocs, protocol, netcfg=netcfg, nodecfg=nodecfg)
         body = app_module.build(system, config, variant)
         system.run_program(body)
         output = app_module.extract(system, config)
-        result = AppResult(protocol, nprocs, output, system.stats, system.stats.time)
+        result = AppResult(
+            protocol, nprocs, output, system.stats, system.stats.time,
+            events=system.sim.events_processed,
+        )
     if verify:
         expected = app_module.sequential(config)
         result.verified = app_module.outputs_match(output, expected)

@@ -7,7 +7,13 @@ from typing import Optional, Sequence
 
 from repro.apps.common import AppResult, run_app
 
-__all__ = ["Entry", "stats_experiment", "speedup_experiment", "PAPER_PROC_COUNTS"]
+__all__ = [
+    "Entry",
+    "stats_experiment",
+    "speedup_experiment",
+    "PAPER_PROC_COUNTS",
+    "STATS_ENTRIES",
+]
 
 PAPER_PROC_COUNTS = (2, 4, 8, 16, 24, 32)
 

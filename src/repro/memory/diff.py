@@ -8,12 +8,18 @@ row measures, so the accounting here (:attr:`Diff.wire_size`) matters:
 ``wire_size = DIFF_HEADER + sum(RUN_HEADER + len(run)) over runs``
 
 which mirrors TreadMarks' (offset, length, data...) encoding.
+
+Hot-path notes: one vectorised run-splitter (:func:`_extract_runs`) serves
+both :func:`make_diff` and :func:`integrate_diffs`; a :class:`Diff` lazily
+caches a flat ``(indices, values)`` view of its runs (built once per diff,
+not once per application — the same diff object is applied at every
+receiving node) along with its ``wire_size``/``changed_bytes`` sums.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Sequence
+from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -53,44 +59,85 @@ class Diff:
 
     @property
     def changed_bytes(self) -> int:
-        return sum(len(d) for _, d in self.runs)
+        cached = self.__dict__.get("_changed_bytes")
+        if cached is None:
+            cached = sum(len(d) for _, d in self.runs)
+            object.__setattr__(self, "_changed_bytes", cached)
+        return cached
 
     @property
     def wire_size(self) -> int:
-        return DIFF_HEADER_BYTES + sum(RUN_HEADER_BYTES + len(d) for _, d in self.runs)
+        cached = self.__dict__.get("_wire_size")
+        if cached is None:
+            cached = DIFF_HEADER_BYTES + RUN_HEADER_BYTES * len(self.runs) + self.changed_bytes
+            object.__setattr__(self, "_wire_size", cached)
+        return cached
+
+    @property
+    def flat(self) -> tuple[np.ndarray, np.ndarray]:
+        """``(indices, values)`` covering every changed byte, cached.
+
+        Lets a consumer touch all runs with two fancy-index operations
+        instead of two numpy calls per run — the win that makes VC_sd's
+        diff integration scale with diff *count* rather than run count.
+        """
+        cached = self.__dict__.get("_flat")
+        if cached is None:
+            values = np.frombuffer(b"".join(data for _, data in self.runs), dtype=np.uint8)
+            offs = np.fromiter((off for off, _ in self.runs), dtype=np.intp, count=len(self.runs))
+            lengths = np.fromiter(
+                (len(data) for _, data in self.runs), dtype=np.intp, count=len(self.runs)
+            )
+            # vectorised multi-arange: ones everywhere, then fix up each
+            # run's first index so the cumulative sum jumps to its offset
+            idx = np.ones(values.size, dtype=np.intp)
+            if idx.size:
+                idx[0] = offs[0]
+                jumps = np.cumsum(lengths[:-1])
+                idx[jumps] = offs[1:] - (offs[:-1] + lengths[:-1] - 1)
+                np.cumsum(idx, out=idx)
+            cached = (idx, values)
+            object.__setattr__(self, "_flat", cached)
+        return cached
 
     def covers(self) -> list[tuple[int, int]]:
         """Half-open ``(start, end)`` intervals touched by this diff."""
         return [(off, off + len(d)) for off, d in self.runs]
 
 
+def _extract_runs(data: np.ndarray, changed: np.ndarray) -> tuple[tuple[int, bytes], ...]:
+    """Split a boolean change mask into maximal runs of bytes from ``data``.
+
+    The run boundaries are found entirely in numpy; the payload bytes are
+    sliced out of one ``tobytes()`` snapshot (a single C-level copy) instead
+    of one numpy slice-and-copy per run.
+    """
+    idx = np.flatnonzero(changed)
+    if idx.size == 0:
+        return ()
+    breaks = np.flatnonzero(np.diff(idx) > 1)
+    starts = idx[np.concatenate(([0], breaks + 1))].tolist()
+    stops = (idx[np.concatenate((breaks, [idx.size - 1]))] + 1).tolist()
+    raw = data.tobytes()
+    return tuple((s, raw[s:e]) for s, e in zip(starts, stops))
+
+
 def make_diff(page_id: int, twin: np.ndarray, current: np.ndarray) -> Diff:
     """Diff ``current`` against ``twin``; both are uint8 arrays of page size."""
     if twin.shape != current.shape:
         raise ValueError("twin/current shape mismatch")
-    changed = twin != current
-    if not changed.any():
-        return Diff(page_id, ())
-    idx = np.flatnonzero(changed)
-    # split indices into maximal consecutive runs
-    breaks = np.flatnonzero(np.diff(idx) > 1)
-    starts = np.concatenate(([0], breaks + 1))
-    ends = np.concatenate((breaks, [len(idx) - 1]))
-    runs = []
-    for s, e in zip(starts, ends):
-        off = int(idx[s])
-        stop = int(idx[e]) + 1
-        runs.append((off, current[off:stop].tobytes()))
-    return Diff(page_id, tuple(runs))
+    return Diff(page_id, _extract_runs(current, twin != current))
 
 
 def apply_diff(page: np.ndarray, diff: Diff) -> None:
     """Apply ``diff`` to ``page`` in place."""
-    for off, data in diff.runs:
+    idx, values = diff.flat
+    if idx.size:
+        off, data = diff.runs[-1]  # runs are sorted: the last one ends highest
         end = off + len(data)
         if end > page.shape[0]:
             raise ValueError(f"diff run [{off}:{end}] exceeds page size {page.shape[0]}")
-        page[off:end] = np.frombuffer(data, dtype=np.uint8)
+        page[idx] = values
 
 
 def integrate_diffs(page_id: int, diffs: Sequence[Diff], page_size: int) -> Diff:
@@ -107,22 +154,10 @@ def integrate_diffs(page_id: int, diffs: Sequence[Diff], page_size: int) -> Diff
             raise ValueError(
                 f"cannot integrate diff for page {diff.page_id} into page {page_id}"
             )
-        for off, data in diff.runs:
-            end = off + len(data)
-            scratch[off:end] = np.frombuffer(data, dtype=np.uint8)
-            touched[off:end] = True
-    if not touched.any():
-        return Diff(page_id, ())
-    idx = np.flatnonzero(touched)
-    breaks = np.flatnonzero(np.diff(idx) > 1)
-    starts = np.concatenate(([0], breaks + 1))
-    ends = np.concatenate((breaks, [len(idx) - 1]))
-    runs = []
-    for s, e in zip(starts, ends):
-        off = int(idx[s])
-        stop = int(idx[e]) + 1
-        runs.append((off, scratch[off:stop].tobytes()))
-    return Diff(page_id, tuple(runs))
+        idx, values = diff.flat
+        scratch[idx] = values
+        touched[idx] = True
+    return Diff(page_id, _extract_runs(scratch, touched))
 
 
 def full_page_diff(page_id: int, page: np.ndarray) -> Diff:

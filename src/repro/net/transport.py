@@ -13,6 +13,17 @@ UDP:
   replies per request id so duplicated requests never re-run the handler
   (at-most-once execution).
 
+Retransmission waits use :meth:`Event.wait_timeout` — the kernel's
+cancellable wait primitive — so each ack/timeout race costs zero auxiliary
+event or callback allocations and the losing wake-up is deregistered.
+
+Duplicate-suppression state (``_seen_reliable``, ``_reply_cache``) is
+bounded: entries are evicted once they are older than the *duplicate
+horizon* — the longest interval after first receipt during which the sender
+can still retransmit, ``(max_retries + 2) * rexmit_timeout`` — which keeps
+the at-most-once guarantee while holding table sizes proportional to
+in-flight traffic rather than run length.
+
 Statistics: original sends are counted in ``NetStats.num_msg``/``data_bytes``
 (replies too, acks not); every retransmission increments ``rexmit``.
 """
@@ -21,7 +32,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Any, Generator
 
-from repro.sim import Event, Simulator, Timeout
+from repro.sim import Event, Simulator, TIMED_OUT
+
 from repro.net.message import Message, MessageKind
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -53,9 +65,15 @@ class Transport:
         self.stats = stats
         self._ack_events: dict[int, Event] = {}
         self._pending_replies: dict[int, Event] = {}
-        self._seen_reliable: set[int] = set()
-        self._reply_cache: dict[tuple[int, int], Message] = {}
+        # id -> simulated time of first receipt; insertion order == time order
+        self._seen_reliable: dict[int, float] = {}
+        # (src, req_id) -> (time cached, reply); insertion order == time order
+        self._reply_cache: dict[tuple[int, int], tuple[float, Message]] = {}
         self._requests_in_progress: set[tuple[int, int]] = set()
+        # a duplicate of a message first received at t can arrive no later
+        # than t + max_retries * rexmit_timeout plus delivery delays; one
+        # extra timeout of slack absorbs those delays
+        self._dup_horizon = (cfg.max_retries + 2) * cfg.rexmit_timeout
 
     # -- send paths -------------------------------------------------------------
 
@@ -119,25 +137,31 @@ class Transport:
         )
         self.stats.count_send(kind, size)
         key = (req.src, req.req_id)
-        self._reply_cache[key] = reply
+        self._reply_cache[key] = (self.sim.now, reply)
         self._requests_in_progress.discard(key)
         self.nic.send(reply)
 
     def _retry_until(self, msg: Message, done: Event) -> Generator:
-        """Transmit ``msg``, retransmitting until ``done`` fires."""
+        """Transmit ``msg``, retransmitting until ``done`` fires.
+
+        Every transmitted copy — including the final retransmission — gets a
+        full ``rexmit_timeout`` for its ack/reply to come back before
+        :class:`RequestError` is raised, so ``max_retries + 1`` copies hit
+        the wire in the worst case and each one can complete the send.
+        """
         self.nic.send(msg.wire_copy())
         timeout = self.cfg.rexmit_timeout
-        for attempt in range(self.cfg.max_retries):
-            timer = _Timer(self.sim, timeout)
-            result = yield from _first_of(self.sim, done, timer.event)
-            if result is done:
-                timer.cancel()
-                return done._value
-            # timed out: retransmit
+        for attempt in range(1, self.cfg.max_retries + 1):
+            result = yield done.wait_timeout(timeout)
+            if result is not TIMED_OUT:
+                return result
             self.stats.count_rexmit(msg.size)
             retry = msg.wire_copy()
-            retry.attempt = attempt + 1
+            retry.attempt = attempt
             self.nic.send(retry)
+        result = yield done.wait_timeout(timeout)
+        if result is not TIMED_OUT:
+            return result
         raise RequestError(
             f"node {self.node_id}: {msg.kind} to {msg.dst} lost after "
             f"{self.cfg.max_retries} retries"
@@ -162,9 +186,12 @@ class Transport:
             )
             self.stats.count_ack()
             self.post(ack)
-            if msg.msg_id in self._seen_reliable:
+            seen = self._seen_reliable
+            if msg.msg_id in seen:
                 return None  # duplicate of an already-delivered reliable send
-            self._seen_reliable.add(msg.msg_id)
+            now = self.sim.now
+            seen[msg.msg_id] = now
+            self._evict_expired(now)
             return msg
         if msg.is_reply:
             evt = self._pending_replies.get(msg.req_id)
@@ -176,56 +203,33 @@ class Transport:
             cached = self._reply_cache.get(key)
             if cached is not None:
                 # reply was lost: resend it without re-running the handler
-                self.stats.count_rexmit(cached.size)
-                self.nic.send(cached.wire_copy())
+                self.stats.count_rexmit(cached[1].size)
+                self.nic.send(cached[1].wire_copy())
                 return None
             if key in self._requests_in_progress:
                 return None  # duplicate while the handler is still running
             self._requests_in_progress.add(key)
+            self._evict_expired(self.sim.now)
             return msg
         return msg
 
+    def _evict_expired(self, now: float) -> None:
+        """Drop duplicate-suppression entries older than the horizon.
 
-class _Timer:
-    """Cancellable one-shot timer built on an :class:`Event`."""
-
-    def __init__(self, sim: Simulator, delay: float):
-        self.event = Event(sim)
-        self._cancelled = False
-        sim.schedule(delay, self._fire)
-
-    def _fire(self) -> None:
-        if not self._cancelled:
-            self.event.set()
-
-    def cancel(self) -> None:
-        self._cancelled = True
-
-
-def _first_of(sim: Simulator, a: Event, b: Event) -> Generator:
-    """Block until either event fires; return the one that fired first."""
-    if a.is_set:
-        return a
-    if b.is_set:
-        return b
-    winner = Event(sim)
-
-    def chain(evt: Event) -> None:
-        if not winner.is_set:
-            winner.set(evt)
-
-    a._waiters.append(_Thunk(sim, lambda _v: chain(a)))
-    b._waiters.append(_Thunk(sim, lambda _v: chain(b)))
-    result = yield winner.wait()
-    return result
-
-
-class _Thunk:
-    """Adapter letting a callback sit on an Event wait queue like a process."""
-
-    def __init__(self, sim: Simulator, fn):
-        self.sim = sim
-        self._fn = fn
-
-    def _resume(self, value=None, exc=None):  # mimics Process._resume signature
-        self._fn(value)
+        Both tables are insertion-ordered dicts stamped with monotone
+        simulated time, so expired entries sit at the front and eviction is
+        O(evicted) amortised per receive.
+        """
+        cutoff = now - self._dup_horizon
+        seen = self._seen_reliable
+        while seen:
+            msg_id = next(iter(seen))
+            if seen[msg_id] >= cutoff:
+                break
+            del seen[msg_id]
+        cache = self._reply_cache
+        while cache:
+            key = next(iter(cache))
+            if cache[key][0] >= cutoff:
+                break
+            del cache[key]

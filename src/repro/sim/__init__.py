@@ -17,7 +17,7 @@ ties), so a given program produces bit-identical traces on every run.
 
 from repro.sim.engine import Simulator, Process, Timeout, SimError, Interrupt
 from repro.sim.channel import Channel, ChannelClosed
-from repro.sim.resources import Mutex, Semaphore, Condition, Event, Barrier
+from repro.sim.resources import Mutex, Semaphore, Condition, Event, Barrier, TIMED_OUT
 
 __all__ = [
     "Simulator",
@@ -32,4 +32,5 @@ __all__ = [
     "Condition",
     "Event",
     "Barrier",
+    "TIMED_OUT",
 ]

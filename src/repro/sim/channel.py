@@ -3,12 +3,17 @@
 A :class:`Channel` is an unbounded (or optionally bounded) FIFO queue with
 blocking ``get`` and non-blocking ``put``.  It is the building block for NIC
 queues and protocol daemon mailboxes.
+
+Blocked getters are registered together with their resumption token
+(:attr:`Process._epoch`); a getter that was interrupted while waiting is
+skipped when an item arrives, so the item goes to the next live getter
+instead of being lost to a dropped wake-up.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, Optional
+from typing import Any, Deque, Optional, Tuple
 
 from repro.sim.engine import Effect, Process, SimError, Simulator
 
@@ -29,11 +34,11 @@ class _Get(Effect):
         chan = self.chan
         if chan._items:
             item = chan._items.popleft()
-            sim.schedule(0.0, proc._resume, item)
+            sim.schedule(0.0, proc._resume, item, None, proc._epoch)
         elif chan.closed:
-            sim.schedule(0.0, proc._resume, None, ChannelClosed())
+            sim.schedule(0.0, proc._resume, None, ChannelClosed(), proc._epoch)
         else:
-            chan._getters.append(proc)
+            chan._getters.append((proc, proc._epoch))
 
 
 class Channel:
@@ -50,7 +55,8 @@ class Channel:
         self.name = name
         self.closed = False
         self._items: Deque[Any] = deque()
-        self._getters: Deque[Process] = deque()
+        self._getters: Deque[Tuple[Process, int]] = deque()
+        self._get_effect = _Get(self)  # stateless, shared by every get()
 
     def __len__(self) -> int:
         return len(self._items)
@@ -59,10 +65,12 @@ class Channel:
         """Enqueue ``item``; returns False iff dropped due to capacity."""
         if self.closed:
             raise SimError(f"put on closed channel {self.name!r}")
-        if self._getters:
-            getter = self._getters.popleft()
-            self.sim.schedule(0.0, getter._resume, item)
-            return True
+        getters = self._getters
+        while getters:
+            proc, token = getters.popleft()
+            if token == proc._epoch and not proc.finished:
+                self.sim.schedule(0.0, proc._resume, item, None, token)
+                return True
         if self.capacity is not None and len(self._items) >= self.capacity:
             return False
         self._items.append(item)
@@ -70,7 +78,7 @@ class Channel:
 
     def get(self) -> Effect:
         """Effect: block until an item is available, resume with it."""
-        return _Get(self)
+        return self._get_effect
 
     def try_get(self) -> tuple[bool, Any]:
         """Non-blocking receive: ``(True, item)`` or ``(False, None)``."""
@@ -82,5 +90,6 @@ class Channel:
         """Close the channel; blocked getters receive :class:`ChannelClosed`."""
         self.closed = True
         while self._getters:
-            getter = self._getters.popleft()
-            self.sim.schedule(0.0, getter._resume, None, ChannelClosed())
+            proc, token = self._getters.popleft()
+            if token == proc._epoch and not proc.finished:
+                self.sim.schedule(0.0, proc._resume, None, ChannelClosed(), token)

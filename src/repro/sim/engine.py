@@ -6,9 +6,20 @@ deliberately small, allocation-light and fully deterministic:
 * the event queue is a binary heap keyed by ``(time, seq)`` where ``seq`` is a
   global monotonically increasing counter — simultaneous events run in the
   order they were scheduled;
+* zero-delay wake-ups (the majority of all events: channel hand-offs,
+  semaphore grants, ``Timeout(0)`` yields) bypass the heap entirely and go
+  through a plain FIFO *ready deque*.  Because the sequence counter is
+  allocated in execution order and simulated time never decreases, every
+  entry already in the heap at the current instant precedes every ready
+  entry, so draining ``heap-entries-at-now`` before the deque preserves the
+  exact ``(time, seq)`` total order of the naive implementation;
 * a :class:`Process` wraps a Python generator; the generator *yields effects*
   (subclasses of :class:`Effect`), and the simulator resumes it with the
   effect's result value;
+* every wake-up carries the *resumption token* (the process's suspension
+  epoch) captured when the wait was registered; a token that no longer
+  matches means the process has since been resumed by something else (e.g.
+  an :meth:`Process.interrupt`) and the stale wake-up is dropped;
 * helper generators compose with plain ``yield from``.
 
 Only simulated time exists here; nothing reads the wall clock.
@@ -18,6 +29,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from collections import deque
 from typing import Any, Callable, Generator, Iterable, Optional
 
 __all__ = [
@@ -52,7 +64,8 @@ class Effect:
     Subclasses implement :meth:`apply`, which either schedules a wake-up or
     registers the process on some wait queue.  The value the process receives
     back from ``yield`` is whatever the effect's continuation passes to
-    :meth:`Process._resume`.
+    :meth:`Process._resume`.  Registrations must capture ``proc._epoch`` and
+    pass it back as the wake-up's token so stale wake-ups are dropped.
     """
 
     def apply(self, sim: "Simulator", proc: "Process") -> None:
@@ -75,7 +88,7 @@ class Timeout(Effect):
         self.value = value
 
     def apply(self, sim: "Simulator", proc: "Process") -> None:
-        sim.schedule(self.delay, proc._resume, self.value)
+        sim.schedule(self.delay, proc._resume, self.value, None, proc._epoch)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Timeout({self.delay!r})"
@@ -92,7 +105,7 @@ class _Fork(Effect):
 
     def apply(self, sim: "Simulator", proc: "Process") -> None:
         child = sim.spawn(self.gen, name=self.name)
-        sim.schedule(0.0, proc._resume, child)
+        sim.schedule(0.0, proc._resume, child, None, proc._epoch)
 
 
 class _WaitProcess(Effect):
@@ -105,9 +118,9 @@ class _WaitProcess(Effect):
 
     def apply(self, sim: "Simulator", proc: "Process") -> None:
         if self.target.finished:
-            sim.schedule(0.0, proc._resume, self.target.result)
+            sim.schedule(0.0, proc._resume, self.target.result, None, proc._epoch)
         else:
-            self.target._joiners.append(proc)
+            self.target._joiners.append((proc, proc._epoch))
 
 
 class Process:
@@ -131,9 +144,12 @@ class Process:
         self.finished = False
         self.result: Any = None
         self.error: Optional[BaseException] = None
-        self._joiners: list[Process] = []
+        self._joiners: list[tuple[Process, int]] = []
         self._interrupt_pending: Optional[Interrupt] = None
         self._suspended = True  # not yet resumed for the first time
+        self._epoch = 0  # suspension counter; wake-up tokens must match it
+        self._send = gen.send
+        self._throw = gen.throw
 
     # -- public API ---------------------------------------------------------
 
@@ -144,30 +160,36 @@ class Process:
     def interrupt(self, cause: Any = None) -> None:
         """Throw :class:`Interrupt` into this process at its next resumption.
 
-        If the process is currently blocked its pending wake-up still fires
-        but delivers the interrupt instead of the awaited value.
+        The wake-up that delivers the interrupt carries the current
+        resumption token, so whichever of {interrupt wake-up, awaited
+        wake-up} fires first wins and the loser is dropped — the interrupted
+        process never sees a stale value meant for a previous yield.
         """
         if self.finished:
             return
         self._interrupt_pending = Interrupt(cause)
         # Ensure the process wakes even if it was waiting on a queue that may
         # never be signalled.
-        self.sim.schedule(0.0, self._resume, None)
+        self.sim.schedule(0.0, self._resume, None, None, self._epoch)
 
     # -- engine internals ----------------------------------------------------
 
-    def _resume(self, value: Any = None, exc: Optional[BaseException] = None) -> None:
+    def _resume(self, value: Any = None, exc: Optional[BaseException] = None,
+                token: Optional[int] = None) -> None:
         if self.finished:
             return
+        if token is not None and token != self._epoch:
+            return  # stale wake-up from an earlier suspension
+        self._epoch += 1
         if self._interrupt_pending is not None and exc is None:
             exc = self._interrupt_pending
             self._interrupt_pending = None
         self._suspended = False
         try:
             if exc is not None:
-                effect = self.gen.throw(exc)
+                effect = self._throw(exc)
             else:
-                effect = self.gen.send(value)
+                effect = self._send(value)
         except StopIteration as stop:
             self._finish(result=stop.value)
             return
@@ -175,25 +197,25 @@ class Process:
             self._finish(error=err)
             return
         self._suspended = True
-        if not isinstance(effect, Effect):
+        if type(effect) is Timeout or isinstance(effect, Effect):
+            effect.apply(self.sim, self)
+        else:
             self._finish(
                 error=SimError(
                     f"process {self.name!r} yielded {effect!r}, expected an Effect"
                 )
             )
-            return
-        effect.apply(self.sim, self)
 
     def _finish(self, result: Any = None, error: Optional[BaseException] = None) -> None:
         self.finished = True
         self.result = result
         self.error = error
         self.sim._live_processes -= 1
-        for joiner in self._joiners:
+        for joiner, token in self._joiners:
             if error is not None:
-                self.sim.schedule(0.0, joiner._resume, None, error)
+                self.sim.schedule(0.0, joiner._resume, None, error, token)
             else:
-                self.sim.schedule(0.0, joiner._resume, result)
+                self.sim.schedule(0.0, joiner._resume, result, None, token)
         self._joiners.clear()
         if error is not None:
             self.sim._record_failure(self, error)
@@ -212,11 +234,16 @@ class Simulator:
         sim.spawn(main(), name="main")
         sim.run()
         print(sim.now)
+
+    ``events_processed`` counts every executed callback (the perf harness
+    divides it by wall-clock seconds to get events/sec).
     """
 
     def __init__(self) -> None:
         self.now: float = 0.0
+        self.events_processed: int = 0
         self._heap: list[tuple[float, int, Callable, tuple]] = []
+        self._ready: deque[tuple[Callable, tuple]] = deque()
         self._seq = itertools.count()
         self._live_processes = 0
         self._failures: list[tuple[Process, BaseException]] = []
@@ -225,16 +252,25 @@ class Simulator:
     # -- scheduling -----------------------------------------------------------
 
     def schedule(self, delay: float, fn: Callable, *args: Any) -> None:
-        """Run ``fn(*args)`` after ``delay`` simulated seconds."""
+        """Run ``fn(*args)`` after ``delay`` simulated seconds.
+
+        Zero-delay events (and delays small enough to vanish in float
+        addition) go on the ready deque instead of the heap; see the module
+        docstring for why this preserves the ``(time, seq)`` order exactly.
+        """
         if delay < 0:
             raise SimError(f"cannot schedule in the past (delay={delay!r})")
-        heapq.heappush(self._heap, (self.now + delay, next(self._seq), fn, args))
+        t = self.now + delay
+        if t <= self.now:
+            self._ready.append((fn, args))
+        else:
+            heapq.heappush(self._heap, (t, next(self._seq), fn, args))
 
     def spawn(self, gen: Generator, name: str = "") -> Process:
         """Create a process from a generator and make it runnable now."""
         proc = Process(self, gen, name=name)
         self._live_processes += 1
-        self.schedule(0.0, proc._resume, None)
+        self._ready.append((proc._resume, (None, None, 0)))
         return proc
 
     def fork(self, gen: Generator, name: str = "") -> Effect:
@@ -248,7 +284,7 @@ class Simulator:
     # -- execution -----------------------------------------------------------
 
     def run(self, until: Optional[float] = None) -> float:
-        """Process events until the heap drains (or ``until`` is reached).
+        """Process events until the queues drain (or ``until`` is reached).
 
         Returns the final simulated time.  If any process died with an
         exception the first such exception is re-raised (with the remaining
@@ -257,22 +293,38 @@ class Simulator:
         if self._running:
             raise SimError("Simulator.run() is not reentrant")
         self._running = True
+        heap = self._heap
+        ready = self._ready
+        pop = heapq.heappop
+        popleft = ready.popleft
+        failures = self._failures
+        now = self.now
+        count = self.events_processed
         try:
-            while self._heap:
-                t, _, fn, args = self._heap[0]
-                if until is not None and t > until:
-                    self.now = until
-                    break
-                heapq.heappop(self._heap)
-                self.now = t
+            while heap or ready:
+                # heap entries at the current instant predate (smaller seq)
+                # everything on the ready deque — run them first
+                if heap and heap[0][0] <= now:
+                    _, _, fn, args = pop(heap)
+                elif ready:
+                    fn, args = popleft()
+                else:
+                    t = heap[0][0]
+                    if until is not None and t > until:
+                        self.now = until
+                        break
+                    _, _, fn, args = pop(heap)
+                    self.now = now = t
+                count += 1
                 fn(*args)
-                if self._failures:
-                    proc, err = self._failures[0]
+                if failures:
+                    proc, err = failures[0]
                     raise SimError(
                         f"process {proc.name!r} died at t={self.now:.6f}"
                     ) from err
         finally:
             self._running = False
+            self.events_processed = count
         return self.now
 
     def _record_failure(self, proc: Process, error: BaseException) -> None:

@@ -4,16 +4,40 @@ These are *simulator-local* primitives used to structure the implementation
 (e.g. serialising a NIC).  They are distinct from the *protocol-level* locks,
 barriers and views in :mod:`repro.protocols`, which cost network messages; the
 primitives here are free of charge and only order events.
+
+All wait registrations carry the waiting process's resumption token
+(:attr:`Process._epoch`).  A registration whose token no longer matches is
+*stale* — the process was resumed by something else (an interrupt, a
+competing wake-up) — and is skipped on signal and pruned on the next
+registration, so losers of a race are deregistered instead of leaking or
+firing into the wrong yield.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, Generator, Optional
+from typing import Any, Deque, Generator, Optional, Tuple
 
 from repro.sim.engine import Effect, Process, SimError, Simulator
 
-__all__ = ["Mutex", "Semaphore", "Condition", "Event", "Barrier"]
+__all__ = ["Mutex", "Semaphore", "Condition", "Event", "Barrier", "TIMED_OUT"]
+
+
+class _TimedOut:
+    """Singleton sentinel returned by :meth:`Event.wait_timeout` on expiry."""
+
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "TIMED_OUT"
+
+
+TIMED_OUT = _TimedOut()
 
 
 class _Acquire(Effect):
@@ -26,9 +50,9 @@ class _Acquire(Effect):
         res = self.res
         if res._count > 0:
             res._count -= 1
-            sim.schedule(0.0, proc._resume, None)
+            sim.schedule(0.0, proc._resume, None, None, proc._epoch)
         else:
-            res._waiters.append(proc)
+            res._waiters.append((proc, proc._epoch))
 
 
 class Semaphore:
@@ -39,17 +63,18 @@ class Semaphore:
             raise SimError("semaphore initial value must be >= 0")
         self.sim = sim
         self._count = value
-        self._waiters: Deque[Process] = deque()
+        self._waiters: Deque[Tuple[Process, int]] = deque()
 
     def acquire(self) -> Effect:
         return _Acquire(self)
 
     def release(self) -> None:
-        if self._waiters:
-            waiter = self._waiters.popleft()
-            self.sim.schedule(0.0, waiter._resume, None)
-        else:
-            self._count += 1
+        while self._waiters:
+            proc, token = self._waiters.popleft()
+            if token == proc._epoch and not proc.finished:
+                self.sim.schedule(0.0, proc._resume, None, None, token)
+                return
+        self._count += 1
 
     def locked(self) -> bool:
         return self._count == 0
@@ -82,9 +107,35 @@ class _Wait(Effect):
     def apply(self, sim: Simulator, proc: Process) -> None:
         evt = self.evt
         if evt._set:
-            sim.schedule(0.0, proc._resume, evt._value)
+            sim.schedule(0.0, proc._resume, evt._value, None, proc._epoch)
         else:
-            evt._waiters.append(proc)
+            evt._register(proc)
+
+
+class _WaitTimeout(Effect):
+    """Cancellable wait: event value if it fires first, else ``TIMED_OUT``.
+
+    The race has no auxiliary events or callbacks: the process registers on
+    the event *and* schedules a timeout wake-up, both tagged with the same
+    resumption token.  Whichever fires first resumes the process (bumping
+    its epoch); the loser's wake-up carries a stale token and is dropped by
+    :meth:`Process._resume`, while the loser's event registration is skipped
+    by :meth:`Event.set` and pruned by the next :meth:`Event._register`.
+    """
+
+    __slots__ = ("evt", "delay")
+
+    def __init__(self, evt: "Event", delay: float):
+        self.evt = evt
+        self.delay = delay
+
+    def apply(self, sim: Simulator, proc: Process) -> None:
+        evt = self.evt
+        if evt._set:
+            sim.schedule(0.0, proc._resume, evt._value, None, proc._epoch)
+            return
+        evt._register(proc)
+        sim.schedule(self.delay, proc._resume, TIMED_OUT, None, proc._epoch)
 
 
 class Event:
@@ -94,11 +145,27 @@ class Event:
         self.sim = sim
         self._set = False
         self._value: Any = None
-        self._waiters: Deque[Process] = deque()
+        self._waiters: Deque[Tuple[Process, int]] = deque()
 
     @property
     def is_set(self) -> bool:
         return self._set
+
+    @property
+    def value(self) -> Any:
+        """The value passed to :meth:`set` (None while unset)."""
+        return self._value
+
+    def _register(self, proc: Process) -> None:
+        # prune stale registrations (timed-out / interrupted waiters) so a
+        # retry loop re-waiting on the same event cannot grow the deque
+        w = self._waiters
+        while w:
+            head, token = w[0]
+            if token == head._epoch and not head.finished:
+                break
+            w.popleft()
+        w.append((proc, proc._epoch))
 
     def set(self, value: Any = None) -> None:
         if self._set:
@@ -106,11 +173,17 @@ class Event:
         self._set = True
         self._value = value
         while self._waiters:
-            waiter = self._waiters.popleft()
-            self.sim.schedule(0.0, waiter._resume, value)
+            proc, token = self._waiters.popleft()
+            if token == proc._epoch and not proc.finished:
+                self.sim.schedule(0.0, proc._resume, value, None, token)
 
     def wait(self) -> Effect:
         return _Wait(self)
+
+    def wait_timeout(self, delay: float) -> Effect:
+        """Effect: resume with the event's value, or ``TIMED_OUT`` after
+        ``delay`` seconds, whichever comes first (losing wake-up dropped)."""
+        return _WaitTimeout(self, delay)
 
 
 class Condition:

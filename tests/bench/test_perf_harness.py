@@ -1,0 +1,49 @@
+"""Smoke test for the wall-clock hot-path harness (repro.bench.perf).
+
+Runs the harness on a tiny IS config (seconds, not minutes) and checks that
+the report it would write to BENCH_hotpath.json is well-formed: valid JSON,
+all three protocols present, positive counters.
+"""
+
+import json
+
+from repro.apps import is_sort
+from repro.bench.perf import DEFAULT_OUTPUT, run_hotpath_benchmark, write_report
+
+TINY = is_sort.IsConfig(n_keys=1200, b_max=64, reps=2, bucket_views=4, work_factor=4.0)
+
+
+def test_hotpath_report_shape(tmp_path):
+    report = run_hotpath_benchmark(nprocs=3, config=TINY)
+
+    path = tmp_path / DEFAULT_OUTPUT
+    write_report(report, str(path))
+    parsed = json.loads(path.read_text())
+    assert parsed == report  # JSON round-trip is lossless
+
+    assert report["benchmark"] == "hotpath_is"
+    assert report["nprocs"] == 3
+    assert set(report["protocols"]) == {"LRC_d", "VC_d", "VC_sd"}
+    for label, row in report["protocols"].items():
+        assert row["verified"], label
+        assert row["events"] > 0
+        assert row["wall_seconds"] >= 0
+        assert row["events_per_sec"] > 0
+        assert row["sim_time_seconds"] > 0
+        assert "Num. Msg" in row["table_row"]
+    assert report["events"] == sum(r["events"] for r in report["protocols"].values())
+    assert report["events_per_sec"] > 0
+    assert report["peak_rss_kb"] > 0
+
+
+def test_hotpath_report_is_deterministic_modulo_timing():
+    """Simulated quantities in the report replay exactly; only wall clock moves."""
+
+    def fingerprint():
+        rep = run_hotpath_benchmark(nprocs=3, config=TINY)
+        return {
+            label: (row["events"], row["sim_time_seconds"], row["table_row"])
+            for label, row in rep["protocols"].items()
+        }
+
+    assert fingerprint() == fingerprint()

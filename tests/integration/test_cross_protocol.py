@@ -22,6 +22,17 @@ def test_runs_are_bit_deterministic():
     assert once() == once()
 
 
+@pytest.mark.parametrize("protocol", ["vc_d", "vc_sd"])
+def test_runstats_identical_for_same_seed(protocol):
+    """The full RunStats row — the perf-harness fingerprint — is replayable."""
+
+    def row():
+        r = run_app(is_sort, protocol, 6, IS_SMALL)
+        return (r.stats.table_row(), r.events)
+
+    assert row() == row()
+
+
 def test_determinism_across_protocols_output_only():
     """All protocols compute the same (correct) answer."""
     outs = {

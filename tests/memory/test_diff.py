@@ -211,3 +211,53 @@ def test_prop_wire_size_accounting(twin, cur):
     expected = DIFF_HEADER_BYTES + sum(RUN_HEADER_BYTES + len(r) for _, r in d.runs)
     assert d.wire_size == expected
     assert d.changed_bytes <= PAGE
+
+
+# runs for multi-writer integration tests: arbitrary offsets and lengths, so
+# runs from different "writers" freely overlap; adjacent runs within one diff
+# are merged before construction to satisfy Diff's run invariants
+def _runs_to_diff(page_id, run_list):
+    merged = []
+    for off, data in sorted(run_list, key=lambda r: r[0]):
+        data = data[: PAGE - off]
+        if not data:
+            continue
+        if merged and off <= merged[-1][0] + len(merged[-1][1]):
+            prev_off, prev_data = merged[-1]
+            keep = off - prev_off
+            merged[-1] = (prev_off, prev_data[:keep] + data)
+        else:
+            merged.append((off, data))
+    return Diff(page_id, tuple(merged))
+
+
+runs_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=PAGE - 1),
+        st.binary(min_size=1, max_size=48),
+    ),
+    min_size=1,
+    max_size=5,
+)
+
+
+@given(base=page_strategy, writers=st.lists(runs_strategy, min_size=1, max_size=4))
+@settings(max_examples=80)
+def test_prop_integration_with_overlapping_writers(base, writers):
+    """integrate_diffs == sequential apply_diff for overlapping multi-writer
+    diffs (later writers overwrite earlier ones byte-for-byte)."""
+    diffs = [_runs_to_diff(7, run_list) for run_list in writers]
+    diffs = [d for d in diffs if not d.empty]
+    sequential = base.copy()
+    for d in diffs:
+        apply_diff(sequential, d)
+    integrated = integrate_diffs(7, diffs, PAGE)
+    via_integrated = base.copy()
+    apply_diff(via_integrated, integrated)
+    assert np.array_equal(via_integrated, sequential)
+    # the integrated diff is one write per touched byte, never more
+    touched = set()
+    for d in diffs:
+        for off, data in d.runs:
+            touched.update(range(off, off + len(data)))
+    assert integrated.changed_bytes == len(touched)

@@ -1,0 +1,163 @@
+"""Regression tests for the retry budget and duplicate-suppression bounds.
+
+* A reliable send must survive exactly ``max_retries`` lost transmissions:
+  the final retransmission gets a full ``rexmit_timeout`` for its ack to
+  come back (historically the sender gave up right after putting the last
+  copy on the wire).
+* ``_seen_reliable``/``_reply_cache`` are bounded by the duplicate horizon,
+  not by run length, while preserving exactly-once delivery.
+"""
+
+import pytest
+
+from repro.net import Cluster, MessageKind, NetConfig
+from repro.net.transport import RequestError
+from repro.sim import Timeout
+
+
+def _drop_first(cluster: Cluster, kind: MessageKind, count: int) -> list:
+    """Patch the switch to drop the first ``count`` messages of ``kind``."""
+    dropped = []
+    real_transfer = cluster.switch.transfer
+
+    def lossy_transfer(msg):
+        if msg.kind is kind and len(dropped) < count:
+            dropped.append(msg.msg_id)
+            return
+        real_transfer(msg)
+
+    cluster.switch.transfer = lossy_transfer
+    return dropped
+
+
+def _sink(received):
+    def handler(msg):
+        received.append(msg.payload)
+        return
+        yield  # pragma: no cover
+
+    return handler
+
+
+def test_send_survives_exactly_max_retries_losses():
+    """Dropping ``max_retries`` copies leaves one — it must complete the send."""
+    c = Cluster(2, netcfg=NetConfig(rexmit_timeout=0.1, max_retries=3))
+    received = []
+    c[1].register_handler(MessageKind.TEST, _sink(received))
+    dropped = _drop_first(c, MessageKind.TEST, count=3)
+    outcome = []
+
+    def sender():
+        yield from c[0].send_reliable(1, MessageKind.TEST, "payload", size=64)
+        outcome.append("acked")
+
+    c.sim.spawn(sender())
+    c.run()
+    assert len(dropped) == 3
+    assert received == ["payload"]
+    assert outcome == ["acked"]
+
+
+def test_send_fails_after_budget_exhausted():
+    """One more loss than the budget absorbs must still raise."""
+    c = Cluster(2, netcfg=NetConfig(rexmit_timeout=0.1, max_retries=3))
+    c[1].register_handler(MessageKind.TEST, _sink([]))
+    _drop_first(c, MessageKind.TEST, count=4)
+
+    def sender():
+        with pytest.raises(RequestError):
+            yield from c[0].send_reliable(1, MessageKind.TEST, "payload", size=64)
+
+    c.sim.spawn(sender())
+    c.run()
+
+
+def test_request_survives_exactly_max_retries_losses():
+    c = Cluster(2, netcfg=NetConfig(rexmit_timeout=0.1, max_retries=3))
+
+    def responder(msg):
+        c[1].reply_to(msg, MessageKind.TEST, msg.payload * 2, size=32)
+        return
+        yield  # pragma: no cover
+
+    c[1].register_handler(MessageKind.TEST, responder)
+    _drop_first(c, MessageKind.TEST, count=3)
+    out = []
+
+    def requester():
+        reply = yield from c[0].request(1, MessageKind.TEST, 21, size=64)
+        out.append(reply.payload)
+
+    c.sim.spawn(requester())
+    c.run()
+    assert out == [42]
+
+
+def test_seen_reliable_stays_bounded():
+    """Long runs must not accumulate duplicate-suppression state forever."""
+    n_messages = 200
+    c = Cluster(2, netcfg=NetConfig(rexmit_timeout=0.05, max_retries=3))
+    horizon = c[1].transport._dup_horizon
+    received = []
+    c[1].register_handler(MessageKind.TEST, _sink(received))
+    high_water = []
+
+    def sender():
+        for k in range(n_messages):
+            yield from c[0].send_reliable(1, MessageKind.TEST, k, size=64)
+            yield Timeout(horizon / 4)
+            high_water.append(len(c[1].transport._seen_reliable))
+
+    c.sim.spawn(sender())
+    c.run()
+    # exactly-once delivery, in order, despite eviction
+    assert received == list(range(n_messages))
+    # table size tracks the horizon (a handful of in-flight ids), not run length
+    assert max(high_water) <= 8
+    assert len(c[1].transport._seen_reliable) <= 8
+
+
+def test_reply_cache_stays_bounded():
+    n_requests = 150
+    c = Cluster(2, netcfg=NetConfig(rexmit_timeout=0.05, max_retries=3))
+    horizon = c[1].transport._dup_horizon
+    calls = []
+
+    def responder(msg):
+        calls.append(msg.payload)
+        c[1].reply_to(msg, MessageKind.TEST, msg.payload, size=32)
+        return
+        yield  # pragma: no cover
+
+    c[1].register_handler(MessageKind.TEST, responder)
+    high_water = []
+
+    def requester():
+        for k in range(n_requests):
+            reply = yield from c[0].request(1, MessageKind.TEST, k, size=64)
+            assert reply.payload == k
+            yield Timeout(horizon / 4)
+            high_water.append(len(c[1].transport._reply_cache))
+
+    c.sim.spawn(requester())
+    c.run()
+    # at-most-once handler execution preserved
+    assert calls == list(range(n_requests))
+    assert max(high_water) <= 8
+
+
+def test_duplicate_within_horizon_still_suppressed():
+    """A duplicate arriving before the horizon expires is filtered out."""
+    c = Cluster(2, netcfg=NetConfig(rexmit_timeout=0.1, max_retries=3))
+    received = []
+    c[1].register_handler(MessageKind.TEST, _sink(received))
+    # drop the first ACK so node 0 retransmits an already-delivered message
+    dropped = _drop_first(c, MessageKind.ACK, count=1)
+
+    def sender():
+        yield from c[0].send_reliable(1, MessageKind.TEST, "once", size=64)
+
+    c.sim.spawn(sender())
+    c.run()
+    assert dropped, "expected the first ack to be dropped"
+    assert received == ["once"]

@@ -273,3 +273,46 @@ def test_process_return_value_via_stopiteration():
     sim.spawn(parent())
     sim.run()
     assert holder == [{"k": 1}]
+
+
+def test_interrupt_cancels_pending_timeout():
+    """A timeout pending at interrupt time must not fire as a stale wake-up.
+
+    The sleeper is interrupted out of its first sleep at t=1 and immediately
+    starts a second one.  The first timeout's scheduled resumption (t=10) is
+    stale: if it were delivered, the second sleep would end early with the
+    first sleep's value.
+    """
+    sim = Simulator()
+    log = []
+
+    def sleeper():
+        try:
+            got = yield Timeout(10.0, value="first")
+            log.append((got, sim.now))
+        except Interrupt:
+            pass
+        got = yield Timeout(20.0, value="second")
+        log.append((got, sim.now))
+
+    def killer(target):
+        yield Timeout(1.0)
+        target.interrupt("wake")
+
+    p = sim.spawn(sleeper())
+    sim.spawn(killer(p))
+    sim.run()
+    assert log == [("second", 21.0)]
+    assert sim.now == 21.0
+
+
+def test_events_processed_counter():
+    sim = Simulator()
+
+    def proc():
+        yield Timeout(1.0)
+        yield Timeout(0)
+
+    sim.spawn(proc())
+    sim.run()
+    assert sim.events_processed > 0
