@@ -1,4 +1,11 @@
-"""Experiment drivers for the table benchmarks."""
+"""Experiment drivers for the table benchmarks.
+
+Both drivers route their runs through :mod:`repro.bench.sweep`: runs with
+the app's default config are resolved against the content-addressed result
+cache (and can fan out over worker processes with ``jobs > 1``); runs with
+an explicit custom config bypass the cache, since the cache key covers only
+the default config plus a seed override.
+"""
 
 from __future__ import annotations
 
@@ -34,25 +41,39 @@ STATS_ENTRIES = (
 )
 
 
+def _sweep_cells(app_module, specs, jobs: int, verify: bool) -> list[AppResult]:
+    """Run ``(protocol, variant, nprocs)`` specs through the sweep engine."""
+    from repro.bench.sweep import SweepCell, _app_name, run_sweep
+
+    app = _app_name(app_module)
+    cells = [
+        SweepCell(app=app, protocol=protocol, nprocs=nprocs, variant=variant)
+        for protocol, variant, nprocs in specs
+    ]
+    report = run_sweep(cells, jobs=jobs, verify=verify)
+    return [c.result for c in report.cells]
+
+
 def stats_experiment(
     app_module,
     nprocs: int = 16,
     config=None,
     entries: Sequence[Entry] = STATS_ENTRIES,
     verify: bool = True,
+    jobs: int = 1,
 ) -> dict[str, AppResult]:
     """Run one application on ``nprocs`` under each entry (a paper stats table)."""
-    results = {}
-    for entry in entries:
-        results[entry.label] = run_app(
-            app_module,
-            entry.protocol,
-            nprocs,
-            config=config,
-            variant=entry.variant,
-            verify=verify,
-        )
-    return results
+    if config is not None:
+        return {
+            entry.label: run_app(
+                app_module, entry.protocol, nprocs,
+                config=config, variant=entry.variant, verify=verify,
+            )
+            for entry in entries
+        }
+    specs = [(entry.protocol, entry.variant, nprocs) for entry in entries]
+    results = _sweep_cells(app_module, specs, jobs, verify)
+    return {entry.label: result for entry, result in zip(entries, results)}
 
 
 def speedup_experiment(
@@ -61,6 +82,7 @@ def speedup_experiment(
     proc_counts: Sequence[int] = PAPER_PROC_COUNTS,
     config=None,
     verify: bool = True,
+    jobs: int = 1,
 ) -> dict[str, dict[int, float]]:
     """Speedups T(1)/T(p) for each entry across ``proc_counts``.
 
@@ -68,18 +90,34 @@ def speedup_experiment(
     on one node every protocol degenerates to local execution, so this is
     effectively the sequential time (plus negligible local overhead).
     """
-    speedups: dict[str, dict[int, float]] = {}
-    for entry in entries:
-        base = run_app(
-            app_module, entry.protocol, 1, config=config, variant=entry.variant,
-            verify=verify,
-        )
-        row: dict[int, float] = {}
-        for p in proc_counts:
-            result = run_app(
-                app_module, entry.protocol, p, config=config, variant=entry.variant,
+    if config is not None:
+        def _run(protocol, variant, p):
+            return run_app(
+                app_module, protocol, p, config=config, variant=variant,
                 verify=verify,
             )
-            row[p] = base.time / result.time if result.time > 0 else float("inf")
-        speedups[entry.label] = row
+        results = {
+            entry.label: {p: _run(entry.protocol, entry.variant, p)
+                          for p in (1, *proc_counts)}
+            for entry in entries
+        }
+    else:
+        specs = [
+            (entry.protocol, entry.variant, p)
+            for entry in entries
+            for p in (1, *proc_counts)
+        ]
+        flat = _sweep_cells(app_module, specs, jobs, verify)
+        results = {}
+        it = iter(flat)
+        for entry in entries:
+            results[entry.label] = {p: next(it) for p in (1, *proc_counts)}
+    speedups: dict[str, dict[int, float]] = {}
+    for entry in entries:
+        per_p = results[entry.label]
+        base = per_p[1]
+        speedups[entry.label] = {
+            p: base.time / per_p[p].time if per_p[p].time > 0 else float("inf")
+            for p in proc_counts
+        }
     return speedups

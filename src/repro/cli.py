@@ -17,6 +17,7 @@ Commands
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.apps import APPS
@@ -58,6 +59,29 @@ def _cmd_table(args: argparse.Namespace) -> int:
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.bench import sweep as sweep_mod
+
+    cache_dir = None if args.no_cache else (args.cache_dir or sweep_mod.DEFAULT_CACHE_DIR)
+    jobs = args.jobs if args.jobs is not None else (os.cpu_count() or 1)
+    if args.app is None:
+        # full benchmark matrix -> consolidated BENCH_sweep.json
+        report = sweep_mod.run_sweep(
+            sweep_mod.default_cells(), jobs=jobs, cache_dir=cache_dir
+        )
+        report_path = args.report or sweep_mod.DEFAULT_OUTPUT
+        sweep_mod.write_report(report, report_path)
+        for cell in report.cells:
+            tag = "cached" if cell.cache_hit else f"{cell.wall_seconds:6.2f}s"
+            c = cell.cell
+            print(
+                f"  {c.app:<6} {c.protocol:<6} {c.variant:<8} {c.nprocs:>2}p"
+                f"  [{tag}]  {cell.events_per_sec:>7} ev/s  fp={cell.fingerprint()}"
+            )
+        print(
+            f"{len(report.cells)} cells in {report.wall_seconds:.2f}s "
+            f"({report.hits} cached, jobs={report.jobs}); wrote {report_path}"
+        )
+        return 0
     from repro.bench.runner import Entry, speedup_experiment
     from repro.bench.tables import format_speedup_table
 
@@ -66,7 +90,9 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         print(f"error: {args.app} has no MPI version (only nn does)", file=sys.stderr)
         return 2
     entries = tuple(Entry(proto, proto) for proto in args.protocols)
-    speedups = speedup_experiment(app, entries, proc_counts=tuple(args.procs))
+    speedups = speedup_experiment(
+        app, entries, proc_counts=tuple(args.procs), jobs=jobs,
+    )
     print(format_speedup_table(f"Speedup of {args.app}", speedups))
     return 0
 
@@ -99,13 +125,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_table.add_argument("number", type=int, choices=range(1, 10))
     p_table.set_defaults(fn=_cmd_table)
 
-    p_sweep = sub.add_parser("sweep", help="speedup sweep for an application")
-    p_sweep.add_argument("app", choices=sorted(APPS))
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="parallel, cached sweep: the full benchmark matrix (no app) "
+        "or a speedup table for one application",
+    )
+    p_sweep.add_argument("app", nargs="?", default=None, choices=sorted(APPS))
     p_sweep.add_argument(
         "--protocols", nargs="+", default=["lrc_d", "vc_sd"],
         choices=[*sorted(PROTOCOLS), "mpi"],
     )
     p_sweep.add_argument("--procs", nargs="+", type=int, default=[2, 4, 8, 16])
+    p_sweep.add_argument(
+        "--jobs", type=int, default=None,
+        help="worker processes (default: CPU count)",
+    )
+    p_sweep.add_argument("--no-cache", action="store_true",
+                         help="ignore and don't write the result cache")
+    p_sweep.add_argument("--cache-dir", default=None,
+                         help="result cache directory (default: .cache/sweep)")
+    p_sweep.add_argument("--report", default=None,
+                         help="report path for the full matrix (default: BENCH_sweep.json)")
     p_sweep.set_defaults(fn=_cmd_sweep)
 
     p_list = sub.add_parser("list", help="show apps, protocols and tables")

@@ -36,16 +36,24 @@ class SharedArray:
                 f"region {region.name!r} holds {region.size} bytes but shape "
                 f"{self.shape} x {self.dtype} needs {self.size * self.dtype.itemsize}"
             )
+        # (start, count) -> (addr, nbytes): apps re-read the same spans every
+        # iteration; a hit skips the bounds re-validation
+        self._span_cache: dict[tuple[int, int], tuple[int, int]] = {}
 
     # -- address arithmetic -------------------------------------------------------
 
     def _flat_span(self, start: int, count: int) -> tuple[int, int]:
+        key = (start, count)
+        hit = self._span_cache.get(key)
+        if hit is not None:
+            return hit
         if start < 0 or count < 0 or start + count > self.size:
             raise IndexError(
                 f"span [{start}, {start + count}) out of bounds for size {self.size}"
             )
         item = self.dtype.itemsize
-        return self.region.base + start * item, count * item
+        hit = self._span_cache[key] = (self.region.base + start * item, count * item)
+        return hit
 
     def row_span(self, row: int) -> tuple[int, int]:
         """Flat (start, count) of one row of a 2-D array."""
@@ -64,7 +72,10 @@ class SharedArray:
             count = self.size - start
         addr, nbytes = self._flat_span(start, count)
         raw = yield from rt.proto.mm.read_bytes(addr, nbytes)
-        return np.frombuffer(raw.tobytes(), dtype=self.dtype)
+        # `raw` is a fresh contiguous buffer owned by the caller (never a view
+        # of page memory), so reinterpreting it in place is safe — the old
+        # `tobytes()` + `frombuffer` round-trip copied the data twice
+        return raw.view(self.dtype)
 
     def write(self, rt: "BaseRuntime", start: int, values: "Sequence | np.ndarray") -> Generator:
         """Write ``values`` at flat index ``start``."""

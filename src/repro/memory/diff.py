@@ -105,6 +105,21 @@ class Diff:
         return [(off, off + len(d)) for off, d in self.runs]
 
 
+_EMPTY_RUNS: tuple = ()
+
+
+def _trusted_diff(page_id: int, runs: tuple[tuple[int, bytes], ...]) -> Diff:
+    """Construct a :class:`Diff` from runs known to be sorted and disjoint.
+
+    Skips ``__post_init__`` validation — only for runs produced by the
+    vectorised mask splitter, whose output is valid by construction.
+    """
+    diff = object.__new__(Diff)
+    object.__setattr__(diff, "page_id", page_id)
+    object.__setattr__(diff, "runs", runs)
+    return diff
+
+
 def _extract_runs(data: np.ndarray, changed: np.ndarray) -> tuple[tuple[int, bytes], ...]:
     """Split a boolean change mask into maximal runs of bytes from ``data``.
 
@@ -112,21 +127,38 @@ def _extract_runs(data: np.ndarray, changed: np.ndarray) -> tuple[tuple[int, byt
     sliced out of one ``tobytes()`` snapshot (a single C-level copy) instead
     of one numpy slice-and-copy per run.
     """
+    return _diff_from_mask(0, data, changed).runs
+
+
+def _diff_from_mask(page_id: int, data: np.ndarray, changed: np.ndarray) -> Diff:
+    """Build a :class:`Diff` from a change mask with its lazy caches primed.
+
+    The mask's nonzero indices *are* the flat index array and their count is
+    ``changed_bytes``, so computing them here (vectorised) saves the
+    per-run/per-byte Python generator passes the lazy properties would do.
+    """
     idx = np.flatnonzero(changed)
     if idx.size == 0:
-        return ()
+        return _trusted_diff(page_id, _EMPTY_RUNS)
     breaks = np.flatnonzero(np.diff(idx) > 1)
     starts = idx[np.concatenate(([0], breaks + 1))].tolist()
     stops = (idx[np.concatenate((breaks, [idx.size - 1]))] + 1).tolist()
     raw = data.tobytes()
-    return tuple((s, raw[s:e]) for s, e in zip(starts, stops))
+    diff = _trusted_diff(page_id, tuple([(s, raw[s:e]) for s, e in zip(starts, stops)]))
+    nbytes = int(idx.size)
+    object.__setattr__(diff, "_changed_bytes", nbytes)
+    object.__setattr__(
+        diff, "_wire_size", DIFF_HEADER_BYTES + RUN_HEADER_BYTES * len(diff.runs) + nbytes
+    )
+    object.__setattr__(diff, "_flat", (idx, data[idx]))
+    return diff
 
 
 def make_diff(page_id: int, twin: np.ndarray, current: np.ndarray) -> Diff:
     """Diff ``current`` against ``twin``; both are uint8 arrays of page size."""
     if twin.shape != current.shape:
         raise ValueError("twin/current shape mismatch")
-    return Diff(page_id, _extract_runs(current, twin != current))
+    return _diff_from_mask(page_id, current, twin != current)
 
 
 def apply_diff(page: np.ndarray, diff: Diff) -> None:
@@ -157,7 +189,7 @@ def integrate_diffs(page_id: int, diffs: Sequence[Diff], page_size: int) -> Diff
         idx, values = diff.flat
         scratch[idx] = values
         touched[idx] = True
-    return Diff(page_id, _extract_runs(scratch, touched))
+    return _diff_from_mask(page_id, scratch, touched)
 
 
 def full_page_diff(page_id: int, page: np.ndarray) -> Diff:

@@ -48,6 +48,28 @@ class MemoryManager:
         # optional access recorder: called as recorder(node_id, pids, mode)
         # for every block access ("r"/"w"); used by repro.tools.autoview
         self.recorder = None
+        # (addr, nbytes) -> ((pid, page_off, out_off, take), ...): applications
+        # re-read the same spans (rows, buckets) every iteration, so the page
+        # translation + bounds validation is done once per distinct span
+        self._span_cache: dict[tuple[int, int], tuple[tuple[int, int, int, int], ...]] = {}
+
+    def _segments(self, addr: int, nbytes: int) -> tuple[tuple[int, int, int, int], ...]:
+        """Cached page-segment decomposition of the byte range ``[addr, addr+nbytes)``."""
+        key = (addr, nbytes)
+        segs = self._span_cache.get(key)
+        if segs is None:
+            self.space.pages_of_range(addr, nbytes)  # bounds validation
+            psz = self.space.page_size
+            out = []
+            pos = addr
+            end = addr + nbytes
+            while pos < end:
+                off = pos % psz
+                take = min(end - pos, psz - off)
+                out.append((pos // psz, off, pos - addr, take))
+                pos += take
+            segs = self._span_cache[key] = tuple(out)
+        return segs
 
     # -- page table ------------------------------------------------------------
 
@@ -66,60 +88,56 @@ class MemoryManager:
 
     def read_bytes(self, addr: int, nbytes: int) -> Generator:
         """Read ``nbytes`` at ``addr`` (``yield from``); returns a uint8 array."""
-        pids = self.space.pages_of_range(addr, nbytes)
+        segs = self._segments(addr, nbytes)
+        page = self.page
         if self.recorder is not None:
-            self.recorder(self.node.id, pids, "r")
-        faulting = [p for p in pids if not self.page(p).readable]
+            self.recorder(self.node.id, [s[0] for s in segs], "r")
+        faulting = [s[0] for s in segs if not page(s[0]).readable]
         if faulting:
             if self.fault_handler is None:
                 raise RuntimeError("no protocol attached to memory manager")
             yield from self.fault_handler.read_fault(faulting)
-        return self._gather(addr, nbytes)
+        return self._gather(segs, nbytes)
 
     def write_bytes(self, addr: int, data: np.ndarray) -> Generator:
         """Write ``data`` (uint8 array/bytes) at ``addr`` (``yield from``)."""
         data = np.asarray(data, dtype=np.uint8).ravel()
         nbytes = data.shape[0]
-        pids = self.space.pages_of_range(addr, nbytes)
+        segs = self._segments(addr, nbytes)
+        page = self.page
         if self.recorder is not None:
-            self.recorder(self.node.id, pids, "w")
-        faulting = [p for p in pids if not self.page(p).writable]
+            self.recorder(self.node.id, [s[0] for s in segs], "w")
+        faulting = [s[0] for s in segs if not page(s[0]).writable]
         if faulting:
             if self.fault_handler is None:
                 raise RuntimeError("no protocol attached to memory manager")
             yield from self.fault_handler.write_fault(faulting)
-        self._scatter(addr, data)
+        self._scatter(segs, data)
         return None
 
-    def _gather(self, addr: int, nbytes: int) -> np.ndarray:
-        out = np.empty(nbytes, dtype=np.uint8)
-        psz = self.space.page_size
-        pos = addr
-        end = addr + nbytes
-        while pos < end:
-            pid = pos // psz
-            off = pos % psz
-            take = min(end - pos, psz - off)
-            copy = self.pages[pid]
+    def _gather(self, segs: tuple[tuple[int, int, int, int], ...], nbytes: int) -> np.ndarray:
+        pages = self.pages
+        if len(segs) == 1:
+            pid, off, _, take = segs[0]
+            copy = pages[pid]
             if not copy.readable:
                 raise RuntimeError(f"page {pid} not readable after fault handling")
-            out[pos - addr : pos - addr + take] = copy.data[off : off + take]
-            pos += take
+            return copy.data[off : off + take].copy()
+        out = np.empty(nbytes, dtype=np.uint8)
+        for pid, off, out_off, take in segs:
+            copy = pages[pid]
+            if not copy.readable:
+                raise RuntimeError(f"page {pid} not readable after fault handling")
+            out[out_off : out_off + take] = copy.data[off : off + take]
         return out
 
-    def _scatter(self, addr: int, data: np.ndarray) -> None:
-        psz = self.space.page_size
-        pos = addr
-        end = addr + data.shape[0]
-        while pos < end:
-            pid = pos // psz
-            off = pos % psz
-            take = min(end - pos, psz - off)
-            copy = self.pages[pid]
+    def _scatter(self, segs: tuple[tuple[int, int, int, int], ...], data: np.ndarray) -> None:
+        pages = self.pages
+        for pid, off, out_off, take in segs:
+            copy = pages[pid]
             if not copy.writable:
                 raise RuntimeError(f"page {pid} not writable after fault handling")
-            copy.data[off : off + take] = data[pos - addr : pos - addr + take]
-            pos += take
+            copy.data[off : off + take] = data[out_off : out_off + take]
 
     # -- interval bookkeeping (used by protocols) ----------------------------------
 

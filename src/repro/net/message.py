@@ -56,7 +56,7 @@ class MessageKind(str, Enum):
 _msg_ids = itertools.count(1)
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """A single protocol message.
 
@@ -86,5 +86,14 @@ class Message:
     def wire_copy(self) -> "Message":
         """Shallow copy representing one transmission attempt on the wire."""
         clone = Message.__new__(Message)
-        clone.__dict__.update(self.__dict__)
+        clone.src = self.src
+        clone.dst = self.dst
+        clone.kind = self.kind
+        clone.payload = self.payload
+        clone.size = self.size
+        clone.need_ack = self.need_ack
+        clone.req_id = self.req_id
+        clone.is_reply = self.is_reply
+        clone.msg_id = self.msg_id
+        clone.attempt = self.attempt
         return clone

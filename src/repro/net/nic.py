@@ -1,11 +1,24 @@
 """Network interface model: rate-limited TX/RX with a finite receive buffer.
 
-Each node owns one :class:`Nic`.  Two daemon processes run per NIC:
+Each node owns one :class:`Nic` modelling one full-duplex port:
 
-* the **TX pump** serialises outbound messages onto the wire at link rate
+* the **TX side** serialises outbound messages onto the wire at link rate
   (plus the fixed per-message send overhead), then hands them to the switch;
-* the **RX pump** drains the inbound buffer at link rate (plus receive
+* the **RX side** drains the inbound buffer at link rate (plus receive
   overhead) and delivers messages to the node's dispatcher.
+
+Both sides are modelled as *flattened* rate-limited queues: plain callback
+chains instead of a daemon process blocking on a channel.  Each frame costs
+the same two simulator events the pump formulation used — a zero-delay
+hand-off followed by the timed completion — but without generator resumption,
+effect dispatch or channel-object churn.  The hand-off hop is kept (rather
+than scheduling the completion directly) because it is *order-bearing*: the
+engine drains same-instant heap events before ready-deque events, so the
+completion's tie-breaking sequence number must be allocated in the ready
+phase exactly where the pump's channel resume used to run.  This keeps runs
+event-for-event identical in simulated time to the daemon formulation —
+same-instant frame ties resolve the same way, which the seeded RED drop
+stream depends on.
 
 Messages arriving while the inbound buffer is full are **dropped** — this is
 the congestion-loss mechanism: a burst of n-1 simultaneous senders into one
@@ -15,11 +28,12 @@ messages each cost a ~1 s retransmission timeout.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Generator
+from collections import deque
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
 
-from repro.sim import Channel, Simulator, Timeout
+from repro.sim import Simulator
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.net.config import NetConfig
@@ -46,14 +60,14 @@ class Nic:
         self.stats = stats
         self._deliver = deliver  # hand a fully-received message to the node
         self._switch: "Switch | None" = None
-        self.tx_queue: Channel = Channel(sim, name=f"tx[{node_id}]")
-        self.rx_buffer: Channel = Channel(sim, name=f"rx[{node_id}]")
+        self._tx_busy = False  # a transmission completion event is in flight
+        self._rx_busy = False  # a receive completion event is in flight
+        self._tx_backlog: deque["Message"] = deque()
+        self._rx_backlog: deque[tuple["Message", int]] = deque()
         self.rx_bytes = 0  # bytes currently held in the receive buffer
         # per-NIC deterministic stream: node id decorrelates ports, the
         # config seed makes whole runs reproducible
         self._rng = np.random.RandomState(cfg.drop_seed + 7919 * node_id)
-        sim.spawn(self._tx_pump(), name=f"nic-tx-{node_id}")
-        sim.spawn(self._rx_pump(), name=f"nic-rx-{node_id}")
 
     def attach(self, switch: "Switch") -> None:
         self._switch = switch
@@ -61,16 +75,30 @@ class Nic:
     # -- outbound --------------------------------------------------------------
 
     def send(self, msg: "Message") -> None:
-        """Queue a message for transmission (never blocks the caller)."""
-        self.tx_queue.put(msg)
+        """Queue a message for transmission (never blocks the caller).
 
-    def _tx_pump(self) -> Generator:
-        while True:
-            msg = yield self.tx_queue.get()
-            # software send overhead + wire serialisation at link rate
-            yield Timeout(self.cfg.send_overhead + self.cfg.tx_time(msg.size))
-            assert self._switch is not None, "NIC not attached to a switch"
-            self._switch.transfer(msg)
+        Serialises at link rate: transmission starts when the TX side is next
+        idle and takes the software send overhead plus the wire time.
+        """
+        if self._tx_busy:
+            self._tx_backlog.append(msg)
+            return
+        self._tx_busy = True
+        self.sim.call_soon(self._tx_start, msg)
+
+    def _tx_start(self, msg: "Message") -> None:
+        # software send overhead + wire serialisation at link rate
+        self.sim.schedule(
+            self.cfg.send_overhead + self.cfg.tx_time(msg.size), self._tx_done, msg
+        )
+
+    def _tx_done(self, msg: "Message") -> None:
+        assert self._switch is not None, "NIC not attached to a switch"
+        self._switch.transfer(msg)
+        if self._tx_backlog:
+            self.sim.call_soon(self._tx_start, self._tx_backlog.popleft())
+        else:
+            self._tx_busy = False
 
     # -- inbound ---------------------------------------------------------------
 
@@ -97,16 +125,26 @@ class Nic:
                 self.stats.count_drop()
                 return
         self.rx_bytes += wire
-        self.rx_buffer.put(msg)
+        if self._rx_busy:
+            self._rx_backlog.append(msg)
+            return
+        self._rx_busy = True
+        self.sim.call_soon(self._rx_start, msg)
 
-    def _rx_pump(self) -> Generator:
-        while True:
-            msg = yield self.rx_buffer.get()
-            # inbound wire time (the port is shared by all senders) + software
-            # receive overhead
-            yield Timeout(self.cfg.tx_time(msg.size) + self.cfg.recv_overhead)
-            self.rx_bytes -= msg.size + self.cfg.header_bytes
-            self._deliver(msg)
+    def _rx_start(self, msg: "Message") -> None:
+        # inbound wire time (the port is shared by all senders) + software
+        # receive overhead
+        self.sim.schedule(
+            self.cfg.tx_time(msg.size) + self.cfg.recv_overhead, self._rx_done, msg
+        )
+
+    def _rx_done(self, msg: "Message") -> None:
+        self.rx_bytes -= msg.size + self.cfg.header_bytes
+        self._deliver(msg)
+        if self._rx_backlog:
+            self.sim.call_soon(self._rx_start, self._rx_backlog.popleft())
+        else:
+            self._rx_busy = False
 
 
 class Switch:

@@ -30,11 +30,16 @@ class NetStats:
     rexmit_bytes: int = 0
     drops: int = 0
     by_kind: dict = field(default_factory=dict)
+    # enum -> str(enum), memoised: str() on an Enum member is surprisingly
+    # expensive and count_send runs once per protocol message
+    _kind_names: dict = field(default_factory=dict, repr=False)
 
     def count_send(self, kind: str, size: int) -> None:
         self.num_msg += 1
         self.data_bytes += size
-        k = str(kind)
+        k = self._kind_names.get(kind)
+        if k is None:
+            k = self._kind_names[kind] = str(kind)
         self.by_kind[k] = self.by_kind.get(k, 0) + 1
 
     def count_ack(self) -> None:

@@ -28,6 +28,10 @@ from repro.memory.manager import MemoryManager
 from repro.memory.page import PageState
 from repro.net.message import Message, MessageKind
 from repro.protocols.timestamps import IntervalNotice
+from repro.sim import Timeout
+
+# shared zero-delay hop effect (stateless: apply() only reads it)
+_HOP = Timeout(0)
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.protocols.system import DsmSystem
@@ -216,10 +220,10 @@ class BaseDsmProtocol:
             self.directory.claim_origin(pid, self.node.id)
             return
         reply = yield from self.node.request(
-            src, MessageKind.PAGE_REQUEST, {"pid": pid}, size=CTRL_MSG_BYTES
+            src, MessageKind.PAGE_REQUEST, pid, size=CTRL_MSG_BYTES
         )
         yield from self.node.copy_cost(self.system.space.page_size)
-        self.mm.install_full_page(pid, reply.payload["content"])
+        self.mm.install_full_page(pid, reply.payload)
 
     # when a page's pending diff chain from a single writer exceeds this many
     # intervals, fetch the full page instead (TreadMarks' diff-accumulation
@@ -242,30 +246,46 @@ class BaseDsmProtocol:
             (writer,) = by_writer
             if writer != self.node.id and len(by_writer[writer]) > self.FULL_PAGE_FETCH_THRESHOLD:
                 reply = yield from self.node.request(
-                    writer, MessageKind.PAGE_REQUEST, {"pid": pid}, size=CTRL_MSG_BYTES
+                    writer, MessageKind.PAGE_REQUEST, pid, size=CTRL_MSG_BYTES
                 )
                 yield from self.node.copy_cost(self.system.space.page_size)
-                self.mm.install_full_page(pid, reply.payload["content"])
+                self.mm.install_full_page(pid, reply.payload)
                 return
         # fetch from all writers concurrently (TreadMarks issues parallel
-        # diff requests), then apply in Lamport order
-        fetchers = []
-        for writer, idxs in sorted(by_writer.items()):
-            fetchers.append(
-                self.node.sim.spawn(
-                    self._request_diffs(writer, pid, sorted(idxs)),
-                    name=f"difffetch-{self.node.id}-{pid}-{writer}",
+        # diff requests), then apply in Lamport order.  The overwhelmingly
+        # common single-writer case runs inline instead of through a spawned
+        # fetcher process; the two Timeout(0) hops stand in for the spawn
+        # hand-off and the join wake-up so the engine's event order (and with
+        # it every same-instant tie-break) is unchanged.
+        if len(by_writer) == 1:
+            ((writer, idxs),) = by_writer.items()
+            yield _HOP
+            reply = yield from self._request_diffs(writer, pid, sorted(idxs))
+            yield _HOP
+            replies = [reply]
+        else:
+            fetchers = []
+            for writer, idxs in sorted(by_writer.items()):
+                fetchers.append(
+                    self.node.sim.spawn(
+                        self._request_diffs(writer, pid, sorted(idxs)),
+                        name=f"difffetch-{self.node.id}-{pid}-{writer}",
+                    )
                 )
-            )
-        replies = yield from self.node.sim.all_of(fetchers)
-        collected: list[tuple[tuple[int, int], Diff]] = []
-        for (writer, idxs), diffs_by_idx in zip(sorted(by_writer.items()), replies):
-            lamport_of = {n.idx: n.lamport for n in notices if n.node == writer}
-            for idx, diffs in diffs_by_idx.items():
-                for k, diff in enumerate(diffs):
-                    collected.append(((lamport_of[idx], writer, k), diff))
-        collected.sort(key=lambda item: item[0])
-        ordered = [diff for _, diff in collected]
+            replies = yield from self.node.sim.all_of(fetchers)
+        if len(by_writer) == 1:
+            # one writer's intervals are already in its Lamport order
+            diffs_by_idx = replies[0]
+            ordered = [d for idx in sorted(diffs_by_idx) for d in diffs_by_idx[idx]]
+        else:
+            collected: list[tuple[tuple[int, int], Diff]] = []
+            for (writer, idxs), diffs_by_idx in zip(sorted(by_writer.items()), replies):
+                lamport_of = {n.idx: n.lamport for n in notices if n.node == writer}
+                for idx, diffs in diffs_by_idx.items():
+                    for k, diff in enumerate(diffs):
+                        collected.append(((lamport_of[idx], writer, k), diff))
+            collected.sort(key=lambda item: item[0])
+            ordered = [diff for _, diff in collected]
         nbytes = sum(d.changed_bytes for d in ordered)
         if nbytes:
             yield from self.node.copy_cost(nbytes)
@@ -277,19 +297,19 @@ class BaseDsmProtocol:
         reply = yield from self.node.request(
             writer,
             MessageKind.DIFF_REQUEST,
-            {"pid": pid, "idxs": idxs},
+            (pid, idxs),
             size=CTRL_MSG_BYTES + 4 * len(idxs),
         )
-        return reply.payload["diffs"]
+        return reply.payload
 
     # -- remote handlers ---------------------------------------------------------------
 
     def _handle_diff_request(self, msg: Message) -> Generator:
         yield from self.node.compute(HANDLER_BASE_COST)
-        pid = msg.payload["pid"]
+        pid, idxs = msg.payload
         diffs_by_idx: dict[int, list[Diff]] = {}
         size = CTRL_MSG_BYTES
-        for idx in msg.payload["idxs"]:
+        for idx in idxs:
             diffs = self.diff_store.get((pid, idx))
             if diffs is None:
                 raise RuntimeError(
@@ -298,16 +318,15 @@ class BaseDsmProtocol:
                 )
             diffs_by_idx[idx] = diffs
             size += sum(d.wire_size for d in diffs)
-        self.node.reply_to(msg, MessageKind.DIFF_REPLY, {"diffs": diffs_by_idx}, size)
+        self.node.reply_to(msg, MessageKind.DIFF_REPLY, diffs_by_idx, size)
 
     def _handle_page_request(self, msg: Message) -> Generator:
         yield from self.node.compute(HANDLER_BASE_COST)
-        pid = msg.payload["pid"]
-        content = self.mm.snapshot_page(pid)
+        content = self.mm.snapshot_page(msg.payload)
         self.node.reply_to(
             msg,
             MessageKind.PAGE_REPLY,
-            {"content": content},
+            content,
             size=CTRL_MSG_BYTES + len(content),
         )
 

@@ -75,7 +75,7 @@ class VcProtocol(BaseDsmProtocol):
         self.held_excl: Optional[int] = None
         self.held_r: list[int] = []
         # barrier client/manager state (sync-only barrier at node 0)
-        self._barrier_arrivals: list[dict] = []
+        self._barrier_arrivals: list[tuple[int, int]] = []  # (node, gen)
         self._barrier_events: dict[int, Event] = {}
         self._barrier_gen = 0
         node.register_handler(MessageKind.VIEW_ACQUIRE, self._handle_view_acquire)
@@ -148,7 +148,7 @@ class VcProtocol(BaseDsmProtocol):
             yield from self.node.send_reliable(
                 manager,
                 MessageKind.VIEW_ACQUIRE,
-                {"view": view_id, "mode": mode, "node": self.node.id},
+                (view_id, mode, self.node.id),
                 size=CTRL_MSG_BYTES,
             )
         payload = yield evt.wait()
@@ -163,8 +163,8 @@ class VcProtocol(BaseDsmProtocol):
             t=self.node.sim.now,
         )
 
-    def _apply_grant(self, view_id: int, payload: dict) -> Generator:
-        notices = payload["notices"]
+    def _apply_grant(self, view_id: int, payload: tuple) -> Generator:
+        notices = payload[1]
         yield from self.node.compute(NOTICE_PROC_COST * len(notices))
         self.apply_notices(notices)
         return None
@@ -207,13 +207,7 @@ class VcProtocol(BaseDsmProtocol):
             yield from self.node.send_reliable(
                 manager,
                 MessageKind.VIEW_RELEASE,
-                {
-                    "view": view_id,
-                    "mode": mode,
-                    "node": self.node.id,
-                    "notice": notice,
-                    "extra": extra_payload,
-                },
+                (view_id, mode, self.node.id, notice, extra_payload),
                 size=size,
             )
 
@@ -284,12 +278,18 @@ class VcProtocol(BaseDsmProtocol):
                 name=f"view-grant-{state.view_id}-{node_id}",
             )
 
-    def _grant_payload(self, state: ViewState, node_id: int, notices: list, pos: int) -> dict:
-        """Hook for VC_sd (adds piggybacked diffs)."""
-        return {"view": state.view_id, "notices": notices}
+    def _grant_payload(self, state: ViewState, node_id: int, notices: list, pos: int) -> tuple:
+        """Hook for VC_sd (appends piggybacked full pages + diffs).
 
-    def _grant_size(self, payload: dict) -> int:
-        return notices_wire_size(payload["notices"])
+        Grant payloads are tuples, not dicts — one is built per grant on the
+        protocol's hottest path.  VC_d grants are ``(view, notices)``; VC_sd
+        piggyback grants are ``(view, notices, full_pages, diffs)``
+        (discriminated by length).
+        """
+        return (state.view_id, notices)
+
+    def _grant_size(self, payload: tuple) -> int:
+        return notices_wire_size(payload[1])
 
     def _manager_release(self, view_id: int, mode: str, node_id: int) -> None:
         state = self._view_state(view_id)
@@ -334,20 +334,19 @@ class VcProtocol(BaseDsmProtocol):
 
     def _handle_view_acquire(self, msg: Message) -> Generator:
         yield from self.node.compute(HANDLER_BASE_COST)
-        self._manager_acquire(msg.payload["view"], msg.payload["mode"], msg.payload["node"], msg)
+        view_id, mode, node_id = msg.payload
+        self._manager_acquire(view_id, mode, node_id, msg)
 
     def _handle_view_grant(self, msg: Message) -> Generator:
         yield from self.node.compute(HANDLER_BASE_COST)
-        evt = self._grant_events.pop(msg.payload["view"])
+        evt = self._grant_events.pop(msg.payload[0])
         evt.set(msg.payload)
 
     def _handle_view_release(self, msg: Message) -> Generator:
         yield from self.node.compute(HANDLER_BASE_COST)
-        payload = msg.payload
-        yield from self._manager_apply_release(
-            payload["view"], payload["mode"], payload["notice"], payload["extra"], local=False
-        )
-        self._manager_release(payload["view"], payload["mode"], payload["node"])
+        view_id, mode, node_id, notice, extra = msg.payload
+        yield from self._manager_apply_release(view_id, mode, notice, extra, local=False)
+        self._manager_release(view_id, mode, node_id)
 
     # -- synchronisation-only barrier ------------------------------------------------------------
 
@@ -361,12 +360,12 @@ class VcProtocol(BaseDsmProtocol):
         evt = Event(self.node.sim)
         self._barrier_events[gen] = evt
         if self.node.id == self.BARRIER_MANAGER:
-            self._manager_note_arrival({"node": self.node.id, "gen": gen})
+            self._manager_note_arrival((self.node.id, gen))
         else:
             yield from self.node.send_reliable(
                 self.BARRIER_MANAGER,
                 MessageKind.BARRIER_ARRIVE,
-                {"node": self.node.id, "gen": gen},
+                (self.node.id, gen),
                 size=CTRL_MSG_BYTES,
             )
         yield evt.wait()
@@ -377,25 +376,25 @@ class VcProtocol(BaseDsmProtocol):
         yield from self.node.compute(HANDLER_BASE_COST)
         self._manager_note_arrival(msg.payload)
 
-    def _manager_note_arrival(self, payload: dict) -> None:
+    def _manager_note_arrival(self, payload: tuple) -> None:
         self._barrier_arrivals.append(payload)
         if len(self._barrier_arrivals) == self.nprocs:
             arrivals, self._barrier_arrivals = self._barrier_arrivals, []
             self.stats.count_barrier_episode()
-            for arrival in arrivals:
-                if arrival["node"] == self.node.id:
-                    self._barrier_events.pop(arrival["gen"]).set(None)
+            for node_id, gen in arrivals:
+                if node_id == self.node.id:
+                    self._barrier_events.pop(gen).set(None)
                 else:
                     self.node.sim.spawn(
                         self.node.send_reliable(
-                            arrival["node"],
+                            node_id,
                             MessageKind.BARRIER_RELEASE,
-                            {"gen": arrival["gen"]},
+                            gen,
                             size=CTRL_MSG_BYTES,
                         ),
-                        name=f"vc-barrier-release-{arrival['node']}",
+                        name=f"vc-barrier-release-{node_id}",
                     )
 
     def _handle_barrier_release(self, msg: Message) -> Generator:
         yield from self.node.compute(HANDLER_BASE_COST)
-        self._barrier_events.pop(msg.payload["gen"]).set(None)
+        self._barrier_events.pop(msg.payload).set(None)

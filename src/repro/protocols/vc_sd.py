@@ -128,7 +128,7 @@ class VcSdProtocol(VcProtocol):
                 yield from self.node.copy_cost(nbytes)
         return None
 
-    def _grant_payload(self, state: ViewState, node_id: int, notices: list, pos: int) -> dict:
+    def _grant_payload(self, state: ViewState, node_id: int, notices: list, pos: int) -> tuple:
         if not self.piggyback_enabled:
             # ablation: grants revert to notice-only (VC_d invalidate protocol)
             return super()._grant_payload(state, node_id, notices, pos)
@@ -152,35 +152,31 @@ class VcSdProtocol(VcProtocol):
                 diffs[pid] = [integrate_diffs(pid, entries, page_size)]
             else:
                 diffs[pid] = entries
-        return {
-            "view": state.view_id,
-            "notices": notices,
-            "full_pages": full_pages,
-            "diffs": diffs,
-        }
+        return (state.view_id, notices, full_pages, diffs)
 
-    def _grant_size(self, payload: dict) -> int:
-        if "full_pages" not in payload:
+    def _grant_size(self, payload: tuple) -> int:
+        if len(payload) == 2:  # notice-only grant (piggybacking ablated off)
             return super()._grant_size(payload)
         return (
-            sum(FULL_PAGE_HEADER + len(c) for c in payload["full_pages"].values())
-            + sum(d.wire_size for lst in payload["diffs"].values() for d in lst)
+            sum(FULL_PAGE_HEADER + len(c) for c in payload[2].values())
+            + sum(d.wire_size for lst in payload[3].values() for d in lst)
         )
 
     # -- acquirer side: grant updates everything, no invalidations ----------------------
 
-    def _apply_grant(self, view_id: int, payload: dict) -> Generator:
-        if "full_pages" not in payload:
+    def _apply_grant(self, view_id: int, payload: tuple) -> Generator:
+        if len(payload) == 2:
             # ablation fallback: notice-based invalidation (VC_d path)
             yield from super()._apply_grant(view_id, payload)
             return None
-        for notice in payload["notices"]:
+        _view, grant_notices, full_pages, grant_diffs = payload
+        for notice in grant_notices:
             self.observe_lamport(notice.lamport)
         nbytes = 0
-        for pid, content in payload["full_pages"].items():
+        for pid, content in full_pages.items():
             self.mm.install_full_page(pid, content)
             nbytes += len(content)
-        for pid, diff_list in payload["diffs"].items():
+        for pid, diff_list in grant_diffs.items():
             copy = self.mm.pages.get(pid)
             if copy is None or copy.data is None:
                 raise RuntimeError(

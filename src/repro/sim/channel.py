@@ -34,9 +34,9 @@ class _Get(Effect):
         chan = self.chan
         if chan._items:
             item = chan._items.popleft()
-            sim.schedule(0.0, proc._resume, item, None, proc._epoch)
+            sim.call_soon(proc._resume, item, None, proc._epoch)
         elif chan.closed:
-            sim.schedule(0.0, proc._resume, None, ChannelClosed(), proc._epoch)
+            sim.call_soon(proc._resume, None, ChannelClosed(), proc._epoch)
         else:
             chan._getters.append((proc, proc._epoch))
 
@@ -69,7 +69,7 @@ class Channel:
         while getters:
             proc, token = getters.popleft()
             if token == proc._epoch and not proc.finished:
-                self.sim.schedule(0.0, proc._resume, item, None, token)
+                self.sim.call_soon(proc._resume, item, None, token)
                 return True
         if self.capacity is not None and len(self._items) >= self.capacity:
             return False
@@ -92,4 +92,4 @@ class Channel:
         while self._getters:
             proc, token = self._getters.popleft()
             if token == proc._epoch and not proc.finished:
-                self.sim.schedule(0.0, proc._resume, None, ChannelClosed(), token)
+                self.sim.call_soon(proc._resume, None, ChannelClosed(), token)

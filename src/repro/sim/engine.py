@@ -88,7 +88,10 @@ class Timeout(Effect):
         self.value = value
 
     def apply(self, sim: "Simulator", proc: "Process") -> None:
-        sim.schedule(self.delay, proc._resume, self.value, None, proc._epoch)
+        if self.delay == 0.0:
+            sim._ready.append((proc._resume, (self.value, None, proc._epoch)))
+        else:
+            sim.schedule(self.delay, proc._resume, self.value, None, proc._epoch)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Timeout({self.delay!r})"
@@ -105,7 +108,7 @@ class _Fork(Effect):
 
     def apply(self, sim: "Simulator", proc: "Process") -> None:
         child = sim.spawn(self.gen, name=self.name)
-        sim.schedule(0.0, proc._resume, child, None, proc._epoch)
+        sim.call_soon(proc._resume, child, None, proc._epoch)
 
 
 class _WaitProcess(Effect):
@@ -118,7 +121,7 @@ class _WaitProcess(Effect):
 
     def apply(self, sim: "Simulator", proc: "Process") -> None:
         if self.target.finished:
-            sim.schedule(0.0, proc._resume, self.target.result, None, proc._epoch)
+            sim.call_soon(proc._resume, self.target.result, None, proc._epoch)
         else:
             self.target._joiners.append((proc, proc._epoch))
 
@@ -133,6 +136,22 @@ class Process:
         child  = yield sim.fork(other())     # spawn concurrently
         rv     = yield child.join()          # wait for termination
     """
+
+    __slots__ = (
+        "sim",
+        "gen",
+        "pid",
+        "name",
+        "finished",
+        "result",
+        "error",
+        "_joiners",
+        "_interrupt_pending",
+        "_suspended",
+        "_epoch",
+        "_send",
+        "_throw",
+    )
 
     _ids = itertools.count()
 
@@ -170,7 +189,7 @@ class Process:
         self._interrupt_pending = Interrupt(cause)
         # Ensure the process wakes even if it was waiting on a queue that may
         # never be signalled.
-        self.sim.schedule(0.0, self._resume, None, None, self._epoch)
+        self.sim.call_soon(self._resume, None, None, self._epoch)
 
     # -- engine internals ----------------------------------------------------
 
@@ -197,7 +216,15 @@ class Process:
             self._finish(error=err)
             return
         self._suspended = True
-        if type(effect) is Timeout or isinstance(effect, Effect):
+        if type(effect) is Timeout:
+            # inlined Timeout.apply: the single most common effect
+            delay = effect.delay
+            sim = self.sim
+            if delay == 0.0:
+                sim._ready.append((self._resume, (effect.value, None, self._epoch)))
+            else:
+                sim.schedule(delay, self._resume, effect.value, None, self._epoch)
+        elif isinstance(effect, Effect):
             effect.apply(self.sim, self)
         else:
             self._finish(
@@ -213,9 +240,9 @@ class Process:
         self.sim._live_processes -= 1
         for joiner, token in self._joiners:
             if error is not None:
-                self.sim.schedule(0.0, joiner._resume, None, error, token)
+                self.sim.call_soon(joiner._resume, None, error, token)
             else:
-                self.sim.schedule(0.0, joiner._resume, result, None, token)
+                self.sim.call_soon(joiner._resume, result, None, token)
         self._joiners.clear()
         if error is not None:
             self.sim._record_failure(self, error)
@@ -243,6 +270,7 @@ class Simulator:
         self.now: float = 0.0
         self.events_processed: int = 0
         self._heap: list[tuple[float, int, Callable, tuple]] = []
+        self._timers: deque[tuple[float, int, Callable, tuple]] = deque()
         self._ready: deque[tuple[Callable, tuple]] = deque()
         self._seq = itertools.count()
         self._live_processes = 0
@@ -265,6 +293,53 @@ class Simulator:
             self._ready.append((fn, args))
         else:
             heapq.heappush(self._heap, (t, next(self._seq), fn, args))
+
+    def call_soon(self, fn: Callable, *args: Any) -> None:
+        """Zero-delay fast path: exactly ``schedule(0.0, fn, *args)``.
+
+        Skips the delay arithmetic and branch for the wake-up paths (event
+        sets, channel puts, NIC hand-off hops) that are always immediate.
+        """
+        self._ready.append((fn, args))
+
+    def schedule_at(self, t: float, fn: Callable, *args: Any) -> None:
+        """Run ``fn(*args)`` at absolute simulated time ``t``.
+
+        Exact-time twin of :meth:`schedule` for callers that track deadlines
+        as absolute times (rate-limited queues): converting to a delay and
+        back through float addition would perturb the instant.
+        """
+        if t < self.now:
+            raise SimError(f"cannot schedule in the past (t={t!r} < now={self.now!r})")
+        if t <= self.now:
+            self._ready.append((fn, args))
+        else:
+            heapq.heappush(self._heap, (t, next(self._seq), fn, args))
+
+    def schedule_timer(self, delay: float, fn: Callable, *args: Any) -> None:
+        """Heap-free lane for timeout guards that usually never fire.
+
+        Retransmission timeouts share one constant delay, so their deadlines
+        arrive in non-decreasing order and a plain FIFO holds them in sorted
+        order with O(1) insertion — and, crucially, the tens of thousands of
+        *cancelled* timers awaiting their (dropped) wake-up no longer bloat
+        the heap and tax every push/pop with their log-factor.  Entries draw
+        sequence numbers from the same counter as the heap and the run loop
+        merges both lanes by ``(time, seq)``, so execution order is exactly
+        the single-heap order.  An out-of-order deadline (different delay)
+        falls back to the heap.
+        """
+        if delay < 0:
+            raise SimError(f"cannot schedule in the past (delay={delay!r})")
+        t = self.now + delay
+        if t <= self.now:
+            self._ready.append((fn, args))
+            return
+        timers = self._timers
+        if timers and t < timers[-1][0]:
+            heapq.heappush(self._heap, (t, next(self._seq), fn, args))
+        else:
+            timers.append((t, next(self._seq), fn, args))
 
     def spawn(self, gen: Generator, name: str = "") -> Process:
         """Create a process from a generator and make it runnable now."""
@@ -294,26 +369,55 @@ class Simulator:
             raise SimError("Simulator.run() is not reentrant")
         self._running = True
         heap = self._heap
+        timers = self._timers
         ready = self._ready
         pop = heapq.heappop
         popleft = ready.popleft
+        tpopleft = timers.popleft
         failures = self._failures
         now = self.now
         count = self.events_processed
         try:
-            while heap or ready:
-                # heap entries at the current instant predate (smaller seq)
-                # everything on the ready deque — run them first
+            while heap or ready or timers:
+                # heap/timer entries at the current instant predate (smaller
+                # seq) everything on the ready deque — run them first, merged
+                # by (time, seq) so the two lanes behave as one queue
                 if heap and heap[0][0] <= now:
-                    _, _, fn, args = pop(heap)
+                    h0 = heap[0]
+                    if timers:
+                        t0 = timers[0]
+                        if t0[0] < h0[0] or (t0[0] == h0[0] and t0[1] < h0[1]):
+                            _, _, fn, args = tpopleft()
+                        else:
+                            _, _, fn, args = pop(heap)
+                    else:
+                        _, _, fn, args = pop(heap)
+                elif timers and timers[0][0] <= now:
+                    _, _, fn, args = tpopleft()
                 elif ready:
                     fn, args = popleft()
                 else:
-                    t = heap[0][0]
+                    if not heap:
+                        t0 = timers[0]
+                        from_timer = True
+                        t = t0[0]
+                    elif timers:
+                        t0 = timers[0]
+                        h0 = heap[0]
+                        from_timer = t0[0] < h0[0] or (
+                            t0[0] == h0[0] and t0[1] < h0[1]
+                        )
+                        t = t0[0] if from_timer else h0[0]
+                    else:
+                        from_timer = False
+                        t = heap[0][0]
                     if until is not None and t > until:
                         self.now = until
                         break
-                    _, _, fn, args = pop(heap)
+                    if from_timer:
+                        _, _, fn, args = tpopleft()
+                    else:
+                        _, _, fn, args = pop(heap)
                     self.now = now = t
                 count += 1
                 fn(*args)

@@ -50,7 +50,7 @@ class _Acquire(Effect):
         res = self.res
         if res._count > 0:
             res._count -= 1
-            sim.schedule(0.0, proc._resume, None, None, proc._epoch)
+            sim.call_soon(proc._resume, None, None, proc._epoch)
         else:
             res._waiters.append((proc, proc._epoch))
 
@@ -72,7 +72,7 @@ class Semaphore:
         while self._waiters:
             proc, token = self._waiters.popleft()
             if token == proc._epoch and not proc.finished:
-                self.sim.schedule(0.0, proc._resume, None, None, token)
+                self.sim.call_soon(proc._resume, None, None, token)
                 return
         self._count += 1
 
@@ -107,7 +107,7 @@ class _Wait(Effect):
     def apply(self, sim: Simulator, proc: Process) -> None:
         evt = self.evt
         if evt._set:
-            sim.schedule(0.0, proc._resume, evt._value, None, proc._epoch)
+            sim.call_soon(proc._resume, evt._value, None, proc._epoch)
         else:
             evt._register(proc)
 
@@ -132,14 +132,16 @@ class _WaitTimeout(Effect):
     def apply(self, sim: Simulator, proc: Process) -> None:
         evt = self.evt
         if evt._set:
-            sim.schedule(0.0, proc._resume, evt._value, None, proc._epoch)
+            sim.call_soon(proc._resume, evt._value, None, proc._epoch)
             return
         evt._register(proc)
-        sim.schedule(self.delay, proc._resume, TIMED_OUT, None, proc._epoch)
+        sim.schedule_timer(self.delay, proc._resume, TIMED_OUT, None, proc._epoch)
 
 
 class Event:
     """One-shot level-triggered event carrying an optional value."""
+
+    __slots__ = ("sim", "_set", "_value", "_waiters")
 
     def __init__(self, sim: Simulator):
         self.sim = sim
@@ -175,7 +177,7 @@ class Event:
         while self._waiters:
             proc, token = self._waiters.popleft()
             if token == proc._epoch and not proc.finished:
-                self.sim.schedule(0.0, proc._resume, value, None, token)
+                self.sim.call_soon(proc._resume, value, None, token)
 
     def wait(self) -> Effect:
         return _Wait(self)

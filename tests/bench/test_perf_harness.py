@@ -33,6 +33,8 @@ def test_hotpath_report_shape(tmp_path):
         assert "Num. Msg" in row["table_row"]
     assert report["events"] == sum(r["events"] for r in report["protocols"].values())
     assert report["events_per_sec"] > 0
+    # the named regression metric mirrors the VC_d entry
+    assert report["vc_d_events_per_sec"] == report["protocols"]["VC_d"]["events_per_sec"]
     assert report["peak_rss_kb"] > 0
 
 

@@ -1,0 +1,197 @@
+"""Tests for the parallel sweep engine and its result cache."""
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro.bench import sweep as sweep_mod
+from repro.bench.sweep import (
+    DEFAULT_OUTPUT,
+    ResultCache,
+    SweepCell,
+    cell_key,
+    code_fingerprint,
+    default_cells,
+    run_sweep,
+    write_report,
+)
+
+# small cells: seconds for the whole module, not minutes
+CELLS = [
+    SweepCell(app="sor", protocol="vc_sd", nprocs=2),
+    SweepCell(app="sor", protocol="lrc_d", nprocs=2),
+    SweepCell(app="is", protocol="vc_sd", nprocs=2),
+    SweepCell(app="is", protocol="vc_d", nprocs=2),
+]
+
+
+def rows(report):
+    return [c.result.table_row() for c in report.cells]
+
+
+# -- cache keying ----------------------------------------------------------------
+
+
+def test_key_is_stable_for_same_cell():
+    cell = SweepCell(app="sor", protocol="vc_sd", nprocs=2)
+    assert cell_key(cell) == cell_key(SweepCell(app="sor", protocol="vc_sd", nprocs=2))
+
+
+def test_key_changes_with_seed_and_cell_fields():
+    base = SweepCell(app="sor", protocol="vc_sd", nprocs=2)
+    variants = [
+        SweepCell(app="sor", protocol="vc_sd", nprocs=2, seed=99),
+        SweepCell(app="sor", protocol="lrc_d", nprocs=2),
+        SweepCell(app="sor", protocol="vc_sd", nprocs=4),
+        SweepCell(app="is", protocol="vc_sd", nprocs=2),
+        SweepCell(app="is", protocol="vc_sd", nprocs=2, variant="lb"),
+    ]
+    keys = {cell_key(base), *(cell_key(v) for v in variants)}
+    assert len(keys) == len(variants) + 1  # all distinct
+
+
+def test_key_changes_with_config(monkeypatch):
+    cell = SweepCell(app="sor", protocol="vc_sd", nprocs=2)
+    before = cell_key(cell)
+    orig = sweep_mod.APPS["sor"].default_config
+
+    def tweaked():
+        return dataclasses.replace(orig(), work_factor=orig().work_factor * 2)
+
+    monkeypatch.setattr(sweep_mod.APPS["sor"], "default_config", tweaked)
+    assert cell_key(cell) != before
+
+
+def test_key_changes_with_code_fingerprint():
+    cell = SweepCell(app="sor", protocol="vc_sd", nprocs=2)
+    assert cell_key(cell, "aaa") != cell_key(cell, "bbb")
+    # and the real fingerprint is a function of the source tree, not the call
+    assert code_fingerprint() == code_fingerprint()
+
+
+# -- cache behaviour -------------------------------------------------------------
+
+
+def test_cache_hit_skips_execution_and_returns_identical_result(tmp_path, monkeypatch):
+    cache_dir = str(tmp_path / "cache")
+    cell = SweepCell(app="sor", protocol="vc_sd", nprocs=2)
+
+    cold = run_sweep([cell], jobs=1, cache_dir=cache_dir)
+    assert [c.cache_hit for c in cold.cells] == [False]
+
+    def boom(*a, **kw):  # a second execution would be a cache miss -> fail loudly
+        raise AssertionError("cell re-executed despite warm cache")
+
+    monkeypatch.setattr(sweep_mod, "_execute_cell", boom)
+    warm = run_sweep([cell], jobs=1, cache_dir=cache_dir)
+    assert [c.cache_hit for c in warm.cells] == [True]
+    assert rows(warm) == rows(cold)
+    assert warm.cells[0].fingerprint() == cold.cells[0].fingerprint()
+    np.testing.assert_array_equal(
+        np.asarray(warm.cells[0].result.output), np.asarray(cold.cells[0].result.output)
+    )
+
+
+def test_seed_change_invalidates(tmp_path):
+    cache_dir = str(tmp_path / "cache")
+    run_sweep([SweepCell(app="sor", protocol="vc_sd", nprocs=2)], cache_dir=cache_dir)
+    again = run_sweep(
+        [SweepCell(app="sor", protocol="vc_sd", nprocs=2, seed=1234)],
+        cache_dir=cache_dir,
+    )
+    assert [c.cache_hit for c in again.cells] == [False]
+
+
+def test_code_fingerprint_change_invalidates(tmp_path, monkeypatch):
+    cache_dir = str(tmp_path / "cache")
+    cell = SweepCell(app="sor", protocol="vc_sd", nprocs=2)
+    run_sweep([cell], cache_dir=cache_dir)
+    monkeypatch.setattr(sweep_mod, "code_fingerprint", lambda refresh=False: "deadbeef")
+    again = run_sweep([cell], cache_dir=cache_dir)
+    assert [c.cache_hit for c in again.cells] == [False]
+
+
+def test_corrupt_cache_entry_is_a_miss(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    key = "ab" + "0" * 62
+    path = tmp_path / "ab" / (key + ".pkl")
+    path.parent.mkdir(parents=True)
+    path.write_bytes(b"not a pickle")
+    assert cache.get(key) is None
+
+
+# -- parallel == serial ----------------------------------------------------------
+
+
+def test_parallel_sweep_bit_identical_to_serial():
+    serial = run_sweep(CELLS, jobs=1, cache_dir=None)
+    parallel = run_sweep(CELLS, jobs=2, cache_dir=None)
+    assert rows(serial) == rows(parallel)
+    assert [c.fingerprint() for c in serial.cells] == [
+        c.fingerprint() for c in parallel.cells
+    ]
+    assert [c.result.events for c in serial.cells] == [
+        c.result.events for c in parallel.cells
+    ]
+    assert all(not c.cache_hit for c in parallel.cells)
+
+
+def test_parallel_workers_populate_the_cache(tmp_path):
+    cache_dir = str(tmp_path / "cache")
+    cold = run_sweep(CELLS[:2], jobs=2, cache_dir=cache_dir)
+    assert all(not c.cache_hit for c in cold.cells)
+    warm = run_sweep(CELLS[:2], jobs=2, cache_dir=cache_dir)
+    assert all(c.cache_hit for c in warm.cells)
+    assert rows(warm) == rows(cold)
+
+
+# -- report schema ---------------------------------------------------------------
+
+REQUIRED_CELL_KEYS = {
+    "app", "protocol", "variant", "nprocs", "seed", "wall_seconds", "events",
+    "events_per_sec", "peak_rss_kb", "sim_time_seconds", "verified",
+    "cache_hit", "fingerprint", "table_row",
+}
+
+
+def check_sweep_schema(parsed: dict) -> None:
+    assert parsed["benchmark"] == "sweep"
+    assert parsed["jobs"] >= 1
+    assert parsed["wall_seconds"] >= 0
+    assert parsed["cache_hits"] + parsed["cache_misses"] == len(parsed["cells"])
+    assert len(parsed["code_fingerprint"]) == 64
+    assert parsed["cells"], "sweep report has no cells"
+    for cell in parsed["cells"]:
+        assert REQUIRED_CELL_KEYS <= set(cell), cell
+        assert cell["events"] > 0
+        assert cell["verified"] is True
+        assert len(cell["fingerprint"]) == 16
+        assert "Time (Sec.)" in cell["table_row"]
+
+
+def test_report_roundtrip_and_schema(tmp_path):
+    report = run_sweep(CELLS[:2], jobs=1, cache_dir=None)
+    path = tmp_path / DEFAULT_OUTPUT
+    write_report(report, str(path))
+    parsed = json.loads(path.read_text())
+    check_sweep_schema(parsed)
+    assert parsed == report.to_json()
+
+
+def test_committed_bench_sweep_json_schema():
+    """The committed BENCH_sweep.json must parse against the schema."""
+    import pathlib
+
+    path = pathlib.Path(__file__).resolve().parents[2] / DEFAULT_OUTPUT
+    if not path.exists():
+        pytest.skip("no committed BENCH_sweep.json in this checkout")
+    check_sweep_schema(json.loads(path.read_text()))
+
+
+def test_default_cells_cover_all_apps_and_protocols():
+    cells = default_cells()
+    assert {c.app for c in cells} == {"is", "gauss", "sor", "nn"}
+    assert {"lrc_d", "vc_d", "vc_sd", "mpi"} <= {c.protocol for c in cells}
+    assert len(cells) == len(set(cells)), "duplicate cells in default matrix"

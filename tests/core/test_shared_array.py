@@ -101,6 +101,32 @@ def test_bounds_checks():
     system.run_program(body2)
 
 
+def test_read_returns_unaliased_copy():
+    """read() must hand back the page bytes without aliasing page memory.
+
+    Guards the single-copy fast path (``raw.view(dtype)`` instead of the old
+    ``tobytes()``+``frombuffer`` double copy): mutating the returned array
+    must not leak into the DSM pages, and a later read must be unaffected.
+    """
+    system = VoppSystem(1, page_size=256)
+    arr = system.alloc_array("a", 8, dtype="int64", page_aligned=True)
+    values = [3, 1, 4, 1, 5, 9, 2, 6]
+
+    def body(rt):
+        yield from rt.acquire_view(0)
+        yield from arr.write(rt, 0, values)
+        first = yield from arr.read(rt, 0, 8)
+        first[:] = -1  # scribble over the returned buffer
+        second = yield from arr.read(rt, 0, 8)
+        yield from rt.release_view(0)
+        return first, second
+
+    first, second = run_on_one(system, body)
+    assert first.dtype == np.int64 and second.dtype == np.int64
+    assert first.tolist() == [-1] * 8
+    assert second.tolist() == values  # pages untouched by the scribble
+
+
 def test_region_size_mismatch_rejected():
     from repro.core.shared_array import SharedArray
     from repro.memory.address_space import Region

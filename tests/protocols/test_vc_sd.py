@@ -44,7 +44,8 @@ def test_grant_sends_full_page_only_on_first_touch():
 
     def spy(state, node_id, notices, pos):
         payload = orig(state, node_id, notices, pos)
-        grants.append((node_id, set(payload["full_pages"]), set(payload["diffs"])))
+        _view, _notices, full_pages, diffs = payload
+        grants.append((node_id, set(full_pages), set(diffs)))
         return payload
 
     proto_mgr._grant_payload = spy
