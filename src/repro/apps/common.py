@@ -63,6 +63,7 @@ class AppResult:
     time: float
     verified: bool = False
     events: int = 0  # simulator callbacks executed (perf-harness denominator)
+    breakdown: Any = None  # per-process time attribution (traced runs only)
 
     def table_row(self) -> dict:
         if hasattr(self.stats, "table_row"):
@@ -79,6 +80,8 @@ def run_app(
     verify: bool = True,
     netcfg: Optional[NetConfig] = None,
     nodecfg: Optional[NodeConfig] = None,
+    tracer: Any = None,
+    view_tracer: Any = None,
 ) -> AppResult:
     """Build, run and (optionally) verify one application.
 
@@ -86,10 +89,19 @@ def run_app(
     ``build(system, config, variant)`` returning the program body, and
     ``extract(system, config)`` returning the comparable output.  MPI apps
     additionally expose ``build_mpi``/``run`` hooks via ``protocol="mpi"``.
+
+    ``tracer`` (a :class:`repro.obs.EventTracer`) records structured events
+    and fills ``AppResult.breakdown``; ``view_tracer`` (a
+    :class:`repro.tools.tracer.ViewTracer`) records view-level sync events
+    (DSM protocols only).
     """
     config = config or app_module.default_config()
     if protocol == "mpi":
+        if view_tracer is not None:
+            raise ValueError("--trace-views needs a DSM protocol, not mpi")
         system = MpiSystem(nprocs, netcfg=netcfg, nodecfg=nodecfg)
+        if tracer is not None:
+            system.cluster.sim.tracer = tracer
         output = app_module.run_mpi(system, config)
         result = AppResult(
             protocol, nprocs, output, system.stats, system.time,
@@ -97,6 +109,10 @@ def run_app(
         )
     else:
         system = make_system(nprocs, protocol, netcfg=netcfg, nodecfg=nodecfg)
+        if tracer is not None:
+            system.sim.tracer = tracer
+        if view_tracer is not None:
+            system.dsm.tracer = view_tracer
         body = app_module.build(system, config, variant)
         system.run_program(body)
         output = app_module.extract(system, config)
@@ -104,6 +120,8 @@ def run_app(
             protocol, nprocs, output, system.stats, system.stats.time,
             events=system.sim.events_processed,
         )
+    if tracer is not None:
+        result.breakdown = tracer.breakdown()
     if verify:
         expected = app_module.sequential(config)
         result.verified = app_module.outputs_match(output, expected)

@@ -140,6 +140,11 @@ class SweepReport:
                     "cache_hit": c.cache_hit,
                     "fingerprint": c.fingerprint(),
                     "table_row": c.result.table_row(),
+                    **(
+                        {"breakdown": c.result.breakdown}
+                        if getattr(c.result, "breakdown", None) is not None
+                        else {}
+                    ),
                 }
                 for c in self.cells
             ],
@@ -178,8 +183,13 @@ def code_fingerprint(refresh: bool = False) -> str:
     return _CODE_FP
 
 
-def cell_key(cell: SweepCell, code_fp: Optional[str] = None) -> str:
-    """Content-addressed cache key for one cell."""
+def cell_key(cell: SweepCell, code_fp: Optional[str] = None, trace: bool = False) -> str:
+    """Content-addressed cache key for one cell.
+
+    Traced and untraced runs use distinct keys (a traced result carries a
+    time breakdown the untraced one lacks), so enabling ``--trace`` never
+    recalls an untraced cached entry or pollutes the untraced cache.
+    """
     material = {
         "app": cell.app,
         "protocol": cell.protocol,
@@ -189,6 +199,8 @@ def cell_key(cell: SweepCell, code_fp: Optional[str] = None) -> str:
         "config": dataclasses.asdict(cell.config()),
         "code": code_fp if code_fp is not None else code_fingerprint(),
     }
+    if trace:
+        material["trace"] = True
     return hashlib.sha256(
         json.dumps(material, sort_keys=True, default=repr).encode()
     ).hexdigest()
@@ -223,12 +235,21 @@ class ResultCache:
 # -- execution -------------------------------------------------------------------
 
 
-def _execute_cell(cell: SweepCell, verify: bool) -> tuple[AppResult, float, int]:
+def _execute_cell(
+    cell: SweepCell, verify: bool, trace: bool = False
+) -> tuple[AppResult, float, int]:
     """Run one cell; returns (result, wall seconds, peak RSS KiB).
 
-    Module-level so a ``ProcessPoolExecutor`` worker can pickle it.
+    Module-level so a ``ProcessPoolExecutor`` worker can pickle it.  With
+    ``trace`` the run records structured events and the result carries a
+    time breakdown (the event list itself is not kept — it can be huge).
     """
     t0 = time.perf_counter()
+    tracer = None
+    if trace:
+        from repro.obs import EventTracer
+
+        tracer = EventTracer()
     result = run_app(
         APPS[cell.app],
         cell.protocol,
@@ -236,17 +257,20 @@ def _execute_cell(cell: SweepCell, verify: bool) -> tuple[AppResult, float, int]
         config=cell.config(),
         variant=cell.variant,
         verify=verify,
+        tracer=tracer,
     )
     wall = time.perf_counter() - t0
     rss_kb = int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
     return result, wall, rss_kb
 
 
-def _worker(args: tuple[SweepCell, bool, Optional[str], str]) -> tuple[AppResult, float, int]:
-    cell, verify, cache_root, code_fp = args
-    out = _execute_cell(cell, verify)
+def _worker(
+    args: tuple[SweepCell, bool, Optional[str], str, bool]
+) -> tuple[AppResult, float, int]:
+    cell, verify, cache_root, code_fp, trace = args
+    out = _execute_cell(cell, verify, trace)
     if cache_root is not None:
-        ResultCache(cache_root).put(cell_key(cell, code_fp), *out)
+        ResultCache(cache_root).put(cell_key(cell, code_fp, trace), *out)
     return out
 
 
@@ -255,6 +279,7 @@ def run_sweep(
     jobs: int = 1,
     cache_dir: Optional[str] = DEFAULT_CACHE_DIR,
     verify: bool = True,
+    trace: bool = False,
 ) -> SweepReport:
     """Run every cell, using the cache and up to ``jobs`` worker processes.
 
@@ -265,7 +290,7 @@ def run_sweep(
     t_start = time.perf_counter()
     code_fp = code_fingerprint()
     cache = ResultCache(cache_dir) if cache_dir is not None else None
-    keys = [cell_key(cell, code_fp) for cell in cells]
+    keys = [cell_key(cell, code_fp, trace) for cell in cells]
 
     slots: list[Optional[CellResult]] = [None] * len(cells)
     misses: list[int] = []
@@ -278,14 +303,14 @@ def run_sweep(
             misses.append(i)
 
     if misses and jobs > 1:
-        work = [(cells[i], verify, cache_dir, code_fp) for i in misses]
+        work = [(cells[i], verify, cache_dir, code_fp, trace) for i in misses]
         with ProcessPoolExecutor(max_workers=min(jobs, len(misses))) as pool:
             for i, out in zip(misses, pool.map(_worker, work)):
                 result, wall, rss_kb = out
                 slots[i] = CellResult(cells[i], result, wall, rss_kb, cache_hit=False)
     else:
         for i in misses:
-            result, wall, rss_kb = _execute_cell(cells[i], verify)
+            result, wall, rss_kb = _execute_cell(cells[i], verify, trace)
             if cache is not None:
                 cache.put(keys[i], result, wall, rss_kb)
             slots[i] = CellResult(cells[i], result, wall, rss_kb, cache_hit=False)

@@ -11,7 +11,7 @@ from typing import Mapping, Optional, Sequence
 
 from repro.apps.common import AppResult
 
-__all__ = ["format_stats_table", "format_speedup_table"]
+__all__ = ["format_stats_table", "format_speedup_table", "format_breakdown_section"]
 
 STATS_ROWS = (
     "Time (Sec.)",
@@ -59,7 +59,27 @@ def format_stats_table(
         lines.append(f"{row:<24}" + "".join(cells))
     lines.append("")
     lines.append("(values in parentheses: the paper's published numbers)")
+    section = format_breakdown_section(results)
+    if section:
+        lines.append("")
+        lines.append(section)
     return "\n".join(lines)
+
+
+def format_breakdown_section(results: Mapping[str, AppResult]) -> str:
+    """Per-protocol time-breakdown tables for traced results (else empty).
+
+    Only results produced with an :class:`repro.obs.EventTracer` carry a
+    breakdown; untraced table runs render exactly as before.
+    """
+    from repro.obs import format_breakdown
+
+    parts = []
+    for label, result in results.items():
+        breakdown = getattr(result, "breakdown", None)
+        if breakdown:
+            parts.append(format_breakdown(breakdown, title=f"Breakdown — {label}"))
+    return "\n\n".join(parts)
 
 
 def format_speedup_table(

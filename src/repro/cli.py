@@ -10,6 +10,10 @@ Commands
     values alongside.
 ``sweep APP``
     Print a speedup table for an application across processor counts.
+``trace APP``
+    Run one application with event tracing: per-process time breakdown,
+    message mix, and optional Chrome-trace/JSONL export (``--trace-out``,
+    ``--jsonl-out``); see docs/observability.md.
 ``list``
     Show the available applications, protocols, variants and tables.
 """
@@ -32,22 +36,107 @@ VARIANTS = {
 }
 
 
+def _net_snapshot(stats) -> dict | None:
+    """Network counters of a run (RunStats embeds NetStats; MPI has it bare)."""
+    net = getattr(stats, "net", stats)
+    return net.snapshot() if hasattr(net, "snapshot") else None
+
+
+def _print_message_mix(stats) -> None:
+    snap = _net_snapshot(stats)
+    if not snap or not snap["by_kind"]:
+        return
+    print()
+    print("Message mix")
+    print("-----------")
+    mix = sorted(snap["by_kind"].items(), key=lambda kv: (-kv[1]["bytes"], kv[0]))
+    for kind, rec in mix:
+        name = kind.split(".", 1)[-1]
+        print(f"  {name:<20} {rec['count']:>8} msgs  {rec['bytes']:>12,} bytes")
+
+
+def _write_trace_outputs(tracer, args: argparse.Namespace) -> None:
+    from repro.obs import write_chrome_trace, write_jsonl
+
+    if getattr(args, "trace_out", None):
+        write_chrome_trace(tracer, args.trace_out)
+        print(f"wrote Chrome trace to {args.trace_out} (open in https://ui.perfetto.dev)")
+    if getattr(args, "jsonl_out", None):
+        write_jsonl(tracer, args.jsonl_out)
+        print(f"wrote JSONL events to {args.jsonl_out}")
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     app = APPS[args.app]
     if args.protocol == "mpi" and not hasattr(app, "run_mpi"):
         print(f"error: {args.app} has no MPI version (only nn does)", file=sys.stderr)
         return 2
+    tracer = view_tracer = None
+    if args.trace or args.trace_out:
+        from repro.obs import EventTracer
+
+        tracer = EventTracer()
+    if args.trace_views:
+        if args.protocol not in ("vc_d", "vc_sd"):
+            print(
+                "error: --trace-views records VOPP view events; "
+                "use --protocol vc_d or vc_sd",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.tools.tracer import ViewTracer
+
+        view_tracer = ViewTracer()
     result = run_app(
         app,
         args.protocol,
         args.nprocs,
         variant=args.variant,
         verify=not args.no_verify,
+        tracer=tracer,
+        view_tracer=view_tracer,
     )
     status = "verified against sequential reference" if result.verified else "NOT verified"
     print(f"{args.app} on {args.protocol}, {args.nprocs} processors ({status})")
     for key, value in result.table_row().items():
         print(f"  {key:<24} {value}")
+    if result.breakdown is not None:
+        from repro.obs import format_breakdown
+
+        print()
+        print(format_breakdown(result.breakdown))
+    if tracer is not None:
+        _write_trace_outputs(tracer, args)
+    if view_tracer is not None:
+        print()
+        print(view_tracer.report())
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    app = APPS[args.app]
+    if args.protocol == "mpi" and not hasattr(app, "run_mpi"):
+        print(f"error: {args.app} has no MPI version (only nn does)", file=sys.stderr)
+        return 2
+    from repro.obs import EventTracer, flame_summary
+
+    tracer = EventTracer()
+    result = run_app(
+        app,
+        args.protocol,
+        args.nprocs,
+        variant=args.variant,
+        verify=not args.no_verify,
+        tracer=tracer,
+    )
+    print(
+        f"{args.app} on {args.protocol}, {args.nprocs} processors "
+        f"— {result.time:.6f} simulated seconds, {len(tracer.events)} trace events"
+    )
+    print()
+    print(flame_summary(tracer))
+    _print_message_mix(result.stats)
+    _write_trace_outputs(tracer, args)
     return 0
 
 
@@ -66,7 +155,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.app is None:
         # full benchmark matrix -> consolidated BENCH_sweep.json
         report = sweep_mod.run_sweep(
-            sweep_mod.default_cells(), jobs=jobs, cache_dir=cache_dir
+            sweep_mod.default_cells(), jobs=jobs, cache_dir=cache_dir,
+            trace=args.trace,
         )
         report_path = args.report or sweep_mod.DEFAULT_OUTPUT
         sweep_mod.write_report(report, report_path)
@@ -77,6 +167,20 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 f"  {c.app:<6} {c.protocol:<6} {c.variant:<8} {c.nprocs:>2}p"
                 f"  [{tag}]  {cell.events_per_sec:>7} ev/s  fp={cell.fingerprint()}"
             )
+        if args.trace:
+            from repro.obs import format_breakdown
+
+            for cell in report.cells:
+                breakdown = getattr(cell.result, "breakdown", None)
+                if breakdown:
+                    c = cell.cell
+                    print()
+                    print(
+                        format_breakdown(
+                            breakdown,
+                            title=f"Breakdown — {c.app}/{c.protocol}/{c.variant}/{c.nprocs}p",
+                        )
+                    )
         print(
             f"{len(report.cells)} cells in {report.wall_seconds:.2f}s "
             f"({report.hits} cached, jobs={report.jobs}); wrote {report_path}"
@@ -119,7 +223,33 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--nprocs", type=int, default=16)
     p_run.add_argument("--variant", default="default")
     p_run.add_argument("--no-verify", action="store_true")
+    p_run.add_argument("--trace", action="store_true",
+                       help="record structured events; print a time breakdown")
+    p_run.add_argument("--trace-out", default=None, metavar="PATH",
+                       help="write a Chrome trace-event JSON file (implies --trace)")
+    p_run.add_argument("--jsonl-out", default=None, metavar="PATH",
+                       help="write the raw events as JSONL (with --trace)")
+    p_run.add_argument("--trace-views", action="store_true",
+                       help="record view accesses; print the paper-§3.6 "
+                       "partitioning advice (VC protocols only)")
     p_run.set_defaults(fn=_cmd_run)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="run one application with event tracing and print where the "
+        "time went (optionally exporting a Perfetto-loadable trace)",
+    )
+    p_trace.add_argument("app", choices=sorted(APPS))
+    p_trace.add_argument("--protocol", default="vc_sd", choices=[*sorted(PROTOCOLS), "mpi"])
+    p_trace.add_argument("--nprocs", type=int, default=8)
+    p_trace.add_argument("--variant", default="default")
+    p_trace.add_argument("--no-verify", action="store_true")
+    p_trace.add_argument("--trace-out", default=None, metavar="PATH",
+                         help="write a Chrome trace-event JSON file "
+                         "(open in https://ui.perfetto.dev)")
+    p_trace.add_argument("--jsonl-out", default=None, metavar="PATH",
+                         help="write the raw events as JSONL")
+    p_trace.set_defaults(fn=_cmd_trace)
 
     p_table = sub.add_parser("table", help="regenerate a paper table")
     p_table.add_argument("number", type=int, choices=range(1, 10))
@@ -146,6 +276,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="result cache directory (default: .cache/sweep)")
     p_sweep.add_argument("--report", default=None,
                          help="report path for the full matrix (default: BENCH_sweep.json)")
+    p_sweep.add_argument("--trace", action="store_true",
+                         help="trace full-matrix cells and add per-process time "
+                         "breakdowns to the report (separate cache entries)")
     p_sweep.set_defaults(fn=_cmd_sweep)
 
     p_list = sub.add_parser("list", help="show apps, protocols and tables")

@@ -108,7 +108,12 @@ class BaseSystem:
 
         def timed(rank: int) -> Generator:
             rt = self.runtime(rank)
+            tracer = self.sim.tracer
+            if tracer is not None:
+                tracer.begin(rank, "app", "run", f"rank {rank}", self.sim.now)
             result = yield from body(rt, *args, **kwargs)
+            if tracer is not None:
+                tracer.end(rank, "app", "run", self.sim.now)
             finish_times.append(self.sim.now)
             return result
 

@@ -40,7 +40,18 @@ class BaseRuntime:
 
     def compute(self, seconds: float) -> Generator:
         """Charge application CPU time (``yield from``)."""
-        return self.node.compute(seconds)
+        if self.node.sim.tracer is None:
+            return self.node.compute(seconds)
+        return self._traced_compute(seconds)
+
+    def _traced_compute(self, seconds: float) -> Generator:
+        tracer = self.node.sim.tracer
+        tracer.begin(
+            self.node.id, "app", "compute", f"compute {seconds:g}s",
+            self.node.sim.now, {"seconds": seconds},
+        )
+        yield from self.node.compute(seconds)
+        tracer.end(self.node.id, "app", "compute", self.node.sim.now)
 
     def barrier(self) -> Generator:
         """Global barrier (consistency semantics depend on the protocol)."""

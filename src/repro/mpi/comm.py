@@ -75,7 +75,16 @@ class MpiComm:
             return queue.popleft()
         evt = Event(self.node.sim)
         self._waiters.setdefault(key, deque()).append(evt)
+        tracer = self.node.sim.tracer
+        if tracer is None:
+            data = yield evt.wait()
+            return data
+        tracer.begin(
+            self.rank, "app", "recv-wait", f"recv {source}:{tag}",
+            self.node.sim.now, {"src": source, "tag": tag},
+        )
         data = yield evt.wait()
+        tracer.end(self.rank, "app", "recv-wait", self.node.sim.now)
         return data
 
     def _on_data(self, msg: Message) -> Generator:
@@ -176,11 +185,30 @@ class MpiComm:
     def barrier(self, tag: int = -7) -> Generator:
         """Reduce + bcast of an empty token."""
         token = np.zeros(1, dtype=np.int8)
+        tracer = self.node.sim.tracer
+        if tracer is not None:
+            tracer.begin(
+                self.rank, "app", "barrier-wait", "mpi barrier",
+                self.node.sim.now, {"tag": tag},
+            )
         yield from self.allreduce(token, op=np.add, tag=tag)
+        if tracer is not None:
+            tracer.end(self.rank, "app", "barrier-wait", self.node.sim.now)
         return None
 
     def compute(self, seconds: float) -> Generator:
-        return self.node.compute(seconds)
+        if self.node.sim.tracer is None:
+            return self.node.compute(seconds)
+        return self._traced_compute(seconds)
+
+    def _traced_compute(self, seconds: float) -> Generator:
+        tracer = self.node.sim.tracer
+        tracer.begin(
+            self.rank, "app", "compute", f"compute {seconds:g}s",
+            self.node.sim.now, {"seconds": seconds},
+        )
+        yield from self.node.compute(seconds)
+        tracer.end(self.rank, "app", "compute", self.node.sim.now)
 
 
 class MpiSystem:
@@ -208,7 +236,12 @@ class MpiSystem:
         finish_times: list[float] = []
 
         def timed(comm: MpiComm) -> Generator:
+            tracer = self.cluster.sim.tracer
+            if tracer is not None:
+                tracer.begin(comm.rank, "app", "run", f"rank {comm.rank}", self.cluster.sim.now)
             result = yield from body(comm, *args, **kwargs)
+            if tracer is not None:
+                tracer.end(comm.rank, "app", "run", self.cluster.sim.now)
             finish_times.append(self.cluster.sim.now)
             return result
 

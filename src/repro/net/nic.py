@@ -87,6 +87,12 @@ class Nic:
         self.sim.call_soon(self._tx_start, msg)
 
     def _tx_start(self, msg: "Message") -> None:
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.begin(
+                self.node_id, "nic-tx", "tx", f"{msg.kind.name}->{msg.dst}",
+                self.sim.now, {"bytes": msg.size, "dst": msg.dst},
+            )
         # software send overhead + wire serialisation at link rate
         self.sim.schedule(
             self.cfg.send_overhead + self.cfg.tx_time(msg.size), self._tx_done, msg
@@ -94,6 +100,9 @@ class Nic:
 
     def _tx_done(self, msg: "Message") -> None:
         assert self._switch is not None, "NIC not attached to a switch"
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.end(self.node_id, "nic-tx", "tx", self.sim.now)
         self._switch.transfer(msg)
         if self._tx_backlog:
             self.sim.call_soon(self._tx_start, self._tx_backlog.popleft())
@@ -118,11 +127,13 @@ class Nic:
             # an oversized message is only accepted into an empty buffer
             # (standing in for the fragmentation a real stack would do)
             self.stats.count_drop()
+            self._trace_drop(msg, "overflow")
             return
         if self.rx_bytes > soft and cap > soft:
             p_drop = (self.rx_bytes - soft) / (cap - soft)
             if self._rng.random_sample() < p_drop:
                 self.stats.count_drop()
+                self._trace_drop(msg, "red")
                 return
         self.rx_bytes += wire
         if self._rx_busy:
@@ -131,7 +142,21 @@ class Nic:
         self._rx_busy = True
         self.sim.call_soon(self._rx_start, msg)
 
+    def _trace_drop(self, msg: "Message", why: str) -> None:
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.instant(
+                self.node_id, "nic-rx", "rx", f"drop {msg.kind.name} ({why})",
+                self.sim.now, {"bytes": msg.size, "src": msg.src},
+            )
+
     def _rx_start(self, msg: "Message") -> None:
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.begin(
+                self.node_id, "nic-rx", "rx", f"{msg.kind.name}<-{msg.src}",
+                self.sim.now, {"bytes": msg.size, "src": msg.src},
+            )
         # inbound wire time (the port is shared by all senders) + software
         # receive overhead
         self.sim.schedule(
@@ -139,6 +164,9 @@ class Nic:
         )
 
     def _rx_done(self, msg: "Message") -> None:
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.end(self.node_id, "nic-rx", "rx", self.sim.now)
         self.rx_bytes -= msg.size + self.cfg.header_bytes
         self._deliver(msg)
         if self._rx_backlog:

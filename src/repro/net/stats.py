@@ -29,6 +29,7 @@ class NetStats:
     rexmit: int = 0
     rexmit_bytes: int = 0
     drops: int = 0
+    # kind -> [count, bytes] (mutated in place on the send hot path)
     by_kind: dict = field(default_factory=dict)
     # enum -> str(enum), memoised: str() on an Enum member is surprisingly
     # expensive and count_send runs once per protocol message
@@ -40,7 +41,12 @@ class NetStats:
         k = self._kind_names.get(kind)
         if k is None:
             k = self._kind_names[kind] = str(kind)
-        self.by_kind[k] = self.by_kind.get(k, 0) + 1
+        rec = self.by_kind.get(k)
+        if rec is None:
+            self.by_kind[k] = [1, size]
+        else:
+            rec[0] += 1
+            rec[1] += size
 
     def count_ack(self) -> None:
         self.acks += 1
@@ -61,5 +67,7 @@ class NetStats:
             "rexmit": self.rexmit,
             "rexmit_bytes": self.rexmit_bytes,
             "drops": self.drops,
-            "by_kind": dict(self.by_kind),
+            "by_kind": {
+                k: {"count": v[0], "bytes": v[1]} for k, v in self.by_kind.items()
+            },
         }

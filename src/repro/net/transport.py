@@ -156,6 +156,13 @@ class Transport:
             if result is not TIMED_OUT:
                 return result
             self.stats.count_rexmit(msg.size)
+            tracer = self.sim.tracer
+            if tracer is not None:
+                tracer.instant(
+                    self.node_id, "transport", "tx",
+                    f"rexmit {msg.kind.name}->{msg.dst}", self.sim.now,
+                    {"attempt": attempt, "bytes": msg.size},
+                )
             retry = msg.wire_copy()
             retry.attempt = attempt
             self.nic.send(retry)

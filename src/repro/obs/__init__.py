@@ -1,0 +1,70 @@
+"""Structured observability for the simulator: tracing, attribution, export.
+
+The paper explains its tables through *where time goes* — barrier time,
+acquire time, diff traffic — so the reproduction carries a first-class
+event-tracing layer threaded through the engine, the NIC/transport, the
+protocol implementations and the runtimes:
+
+* :class:`EventTracer` records span (begin/end), instant and counter events
+  carrying simulated time, node id and a category (``compute``,
+  ``barrier-wait``, ``acquire-wait``, ``diff-wait``, ``page-fault``, ``tx``,
+  ``rx``);
+* :mod:`repro.obs.breakdown` decomposes each application process's simulated
+  run time into those categories (the "Breakdown" report sections);
+* :mod:`repro.obs.export` renders a trace as Chrome trace-event JSON
+  (loadable in Perfetto / ``chrome://tracing``), a flat JSONL event log, or a
+  terminal flame-style summary.
+
+Tracing is **opt-in and zero-overhead when off**: every emission site guards
+on ``sim.tracer is not None`` (the default), so an untraced run executes the
+exact pre-observability instruction stream and stays bit-identical.  When a
+tracer *is* installed it only records — it never charges simulated time — so
+traced runs produce the same statistics rows as untraced ones, and two
+identical traced runs produce byte-identical exports.  See
+``docs/observability.md``.
+"""
+
+from repro.obs.tracer import (
+    ACQUIRE_WAIT,
+    BARRIER_WAIT,
+    COMPUTE,
+    DIFF_WAIT,
+    IDLE,
+    PAGE_FAULT,
+    RECV_WAIT,
+    RUN,
+    RX,
+    TX,
+    WAIT_CATEGORIES,
+    EventTracer,
+)
+from repro.obs.breakdown import compute_breakdown, format_breakdown
+from repro.obs.export import (
+    chrome_trace,
+    flame_summary,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+__all__ = [
+    "EventTracer",
+    "COMPUTE",
+    "BARRIER_WAIT",
+    "ACQUIRE_WAIT",
+    "DIFF_WAIT",
+    "PAGE_FAULT",
+    "RECV_WAIT",
+    "TX",
+    "RX",
+    "RUN",
+    "IDLE",
+    "WAIT_CATEGORIES",
+    "compute_breakdown",
+    "format_breakdown",
+    "chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+    "flame_summary",
+    "validate_chrome_trace",
+]

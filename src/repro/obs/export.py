@@ -1,0 +1,218 @@
+"""Trace exporters: Chrome trace-event JSON, JSONL, terminal flame summary.
+
+The Chrome trace-event document (``chrome_trace``/``write_chrome_trace``)
+loads directly into Perfetto (https://ui.perfetto.dev) or
+``chrome://tracing``: each simulated node becomes a process, each lane a
+thread, spans render as slices, drops/retransmissions as instants and
+``live_processes`` as a counter track.  Timestamps are simulated
+microseconds.
+
+Everything here is a pure function of the recorded event list, so for a
+deterministic simulation the exported bytes are identical across runs —
+``validate_chrome_trace`` is the schema check the CI trace-smoke step runs.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Mapping
+
+from repro.obs.tracer import EventTracer
+
+__all__ = [
+    "chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+    "flame_summary",
+    "validate_chrome_trace",
+]
+
+# engine-global events (pid -1) get their own Perfetto "process"
+GLOBAL_PID = -1
+
+_PHASES = frozenset("BEiCM")
+
+
+def _events_of(trace: "EventTracer | list") -> list:
+    return trace.events if isinstance(trace, EventTracer) else list(trace)
+
+
+def chrome_trace(trace: "EventTracer | list") -> dict:
+    """Convert a recorded trace to a Chrome trace-event JSON document."""
+    events = _events_of(trace)
+    out: list[dict] = []
+    tids: dict[tuple[int, str], int] = {}
+    next_tid: dict[int, int] = {}
+
+    def tid_of(pid: int, lane: str) -> int:
+        tid = tids.get((pid, lane))
+        if tid is None:
+            tid = next_tid.get(pid, 0)
+            next_tid[pid] = tid + 1
+            tids[(pid, lane)] = tid
+            out.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": pid,
+                    "tid": tid,
+                    "ts": 0,
+                    "args": {"name": lane},
+                }
+            )
+        return tid
+
+    seen_pids: set[int] = set()
+    for ph, t, pid, lane, cat, name, args in events:
+        if pid not in seen_pids:
+            seen_pids.add(pid)
+            out.append(
+                {
+                    "ph": "M",
+                    "name": "process_name",
+                    "pid": pid,
+                    "tid": 0,
+                    "ts": 0,
+                    "args": {
+                        "name": "simulator" if pid == GLOBAL_PID else f"node-{pid}"
+                    },
+                }
+            )
+        tid = tid_of(pid, lane)
+        ts = t * 1e6  # simulated seconds -> microseconds
+        if ph == "B":
+            ev = {"ph": "B", "name": name, "cat": cat, "pid": pid, "tid": tid, "ts": ts}
+            if args:
+                ev["args"] = args
+        elif ph == "E":
+            ev = {"ph": "E", "cat": cat, "pid": pid, "tid": tid, "ts": ts}
+        elif ph == "i":
+            ev = {
+                "ph": "i",
+                "name": name,
+                "cat": cat,
+                "pid": pid,
+                "tid": tid,
+                "ts": ts,
+                "s": "t",
+            }
+            if args:
+                ev["args"] = args
+        else:  # "C"
+            ev = {
+                "ph": "C",
+                "name": name,
+                "pid": pid,
+                "tid": tid,
+                "ts": ts,
+                "args": {"value": args},
+            }
+        out.append(ev)
+    return {"traceEvents": out, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(trace: "EventTracer | list", path: str) -> None:
+    doc = chrome_trace(trace)
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=None, separators=(",", ":"), sort_keys=False)
+        fh.write("\n")
+
+
+def write_jsonl(trace: "EventTracer | list", fh_or_path: "IO[str] | str") -> None:
+    """Flat one-object-per-line event log (easy to grep/pandas)."""
+    events = _events_of(trace)
+
+    def _dump(fh: "IO[str]") -> None:
+        for ph, t, pid, lane, cat, name, args in events:
+            fh.write(
+                json.dumps(
+                    {
+                        "ph": ph,
+                        "t": t,
+                        "pid": pid,
+                        "lane": lane,
+                        "cat": cat,
+                        "name": name,
+                        "args": args,
+                    },
+                    sort_keys=False,
+                )
+            )
+            fh.write("\n")
+
+    if isinstance(fh_or_path, str):
+        with open(fh_or_path, "w") as fh:
+            _dump(fh)
+    else:
+        _dump(fh_or_path)
+
+
+def flame_summary(trace: "EventTracer | list", width: int = 40) -> str:
+    """Terminal flame-style view: per-category share of total process time."""
+    from repro.obs.breakdown import compute_breakdown, format_breakdown
+
+    events = _events_of(trace)
+    breakdown = compute_breakdown(events)
+    if not breakdown:
+        return "trace is empty (no run spans recorded)"
+    totals: dict[str, float] = {}
+    for row in breakdown.values():
+        for cat, sec in row["seconds"].items():
+            totals[cat] = totals.get(cat, 0.0) + sec
+    grand = sum(totals.values())
+    lines = ["Where the time went (all processes)"]
+    for cat, sec in sorted(totals.items(), key=lambda kv: -kv[1]):
+        share = sec / grand if grand > 0 else 0.0
+        bar = "#" * max(1, round(share * width)) if sec > 0 else ""
+        lines.append(f"  {cat:<14} {100 * share:5.1f}%  {bar}")
+    lines.append("")
+    lines.append(format_breakdown(breakdown))
+    lines.append("")
+    n_spans = sum(1 for ev in events if ev[0] == "B")
+    lines.append(f"({len(events)} events, {n_spans} spans)")
+    return "\n".join(lines)
+
+
+def validate_chrome_trace(doc: Mapping) -> dict:
+    """Schema-check a Chrome trace-event document; raise ValueError if bad.
+
+    Verifies the envelope, per-event required fields, and that every
+    ``B``/``E`` pair balances per ``(pid, tid)`` lane.  Returns a small
+    summary dict (event/span/process counts) for smoke-test output.
+    """
+    if not isinstance(doc, Mapping) or "traceEvents" not in doc:
+        raise ValueError("not a Chrome trace: missing 'traceEvents'")
+    events = doc["traceEvents"]
+    if not isinstance(events, list) or not events:
+        raise ValueError("'traceEvents' must be a non-empty list")
+    stacks: dict[tuple[int, int], int] = {}
+    spans = 0
+    pids: set[int] = set()
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            raise ValueError(f"event {i}: not an object")
+        ph = ev.get("ph")
+        if ph not in _PHASES:
+            raise ValueError(f"event {i}: bad phase {ph!r}")
+        for key in ("pid", "tid"):
+            if not isinstance(ev.get(key), int):
+                raise ValueError(f"event {i}: missing/non-int {key!r}")
+        ts = ev.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            raise ValueError(f"event {i}: bad ts {ts!r}")
+        if ph in ("B", "i", "C", "M") and not ev.get("name"):
+            raise ValueError(f"event {i}: phase {ph!r} requires a name")
+        pids.add(ev["pid"])
+        key = (ev["pid"], ev["tid"])
+        if ph == "B":
+            stacks[key] = stacks.get(key, 0) + 1
+            spans += 1
+        elif ph == "E":
+            depth = stacks.get(key, 0)
+            if depth <= 0:
+                raise ValueError(f"event {i}: 'E' without open 'B' on {key}")
+            stacks[key] = depth - 1
+    open_lanes = {k: d for k, d in stacks.items() if d}
+    if open_lanes:
+        raise ValueError(f"unclosed spans at end of trace: {open_lanes}")
+    return {"events": len(events), "spans": spans, "processes": len(pids)}

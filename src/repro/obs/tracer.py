@@ -1,0 +1,143 @@
+"""The event tracer: categories, the event tuple, and the recording API.
+
+Design constraints, in order of importance:
+
+1. **Zero overhead when disabled.**  There is no null-object tracer on the
+   hot paths: the simulator's ``tracer`` attribute is simply ``None`` by
+   default and every emission site guards with ``if tracer is not None``.
+   The engine's event loop itself is never instrumented — only operation
+   boundaries (faults, acquires, barriers, NIC frames, process lifecycle)
+   are, so the per-event cost of tracing-off is literally nothing.
+2. **Observational purity.**  Recording never charges simulated time,
+   schedules events, or perturbs any tie-break, so a traced run's simulated
+   statistics are bit-identical to an untraced run's.
+3. **Determinism.**  Events are appended in simulator execution order, which
+   is deterministic; two identical runs produce identical event lists (and
+   therefore byte-identical exports).
+
+Event representation
+--------------------
+
+Events are plain tuples (allocation-light, trivially picklable)::
+
+    (ph, t, pid, lane, cat, name, args)
+
+``ph`` is the phase, borrowed from the Chrome trace-event format: ``"B"``
+(span begin), ``"E"`` (span end), ``"i"`` (instant), ``"C"`` (counter).
+``t`` is simulated seconds.  ``pid`` is the node id (``-1`` for
+engine-global events).  ``lane`` names the execution context within the node
+— ``"app"`` for the application process, ``"nic-tx"``/``"nic-rx"`` for the
+NIC sides, ``"fetch-*"`` for concurrent fault fetchers — and maps to a
+Perfetto thread.  Spans on one lane are properly nested (each lane is a
+sequential context), which is what makes both the Chrome ``B``/``E``
+encoding and the stack-based time attribution in
+:mod:`repro.obs.breakdown` exact.  ``args`` is an optional dict of
+JSON-serialisable details.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+__all__ = [
+    "EventTracer",
+    "COMPUTE",
+    "BARRIER_WAIT",
+    "ACQUIRE_WAIT",
+    "DIFF_WAIT",
+    "PAGE_FAULT",
+    "RECV_WAIT",
+    "TX",
+    "RX",
+    "RUN",
+    "IDLE",
+    "WAIT_CATEGORIES",
+]
+
+# -- categories --------------------------------------------------------------------
+
+COMPUTE = "compute"  # application CPU time (and any unattributed remainder)
+BARRIER_WAIT = "barrier-wait"  # inside barrier(), arrival to release
+ACQUIRE_WAIT = "acquire-wait"  # inside acquire_view/acquire_lock
+DIFF_WAIT = "diff-wait"  # waiting on DIFF_REQUEST/DIFF_REPLY round trips
+PAGE_FAULT = "page-fault"  # fault handling (base-copy fetch + validation)
+RECV_WAIT = "recv-wait"  # MPI blocking receive
+TX = "tx"  # NIC transmit occupancy
+RX = "rx"  # NIC receive occupancy
+RUN = "run"  # one application process, start to finish
+IDLE = "idle"  # after this process finished, before the run's last one did
+
+# wait categories that may appear (nested) on a process's "app" lane; the
+# breakdown attributes each instant to the innermost open one
+WAIT_CATEGORIES = (BARRIER_WAIT, ACQUIRE_WAIT, PAGE_FAULT, DIFF_WAIT, RECV_WAIT)
+
+
+class EventTracer:
+    """Collects trace events from one simulated run.
+
+    Install by assigning to the simulator *before* running::
+
+        tracer = EventTracer()
+        system.sim.tracer = tracer
+        system.run_program(body)
+        print(tracer.summary())
+
+    (or pass ``tracer=`` to :func:`repro.apps.common.run_app`, which does
+    this and attaches the computed breakdown to the result).
+    """
+
+    __slots__ = ("events",)
+
+    def __init__(self) -> None:
+        self.events: list[tuple] = []
+
+    # -- recording (called from instrumentation sites) ----------------------------
+
+    def begin(
+        self,
+        pid: int,
+        lane: str,
+        cat: str,
+        name: str,
+        t: float,
+        args: Optional[dict] = None,
+    ) -> None:
+        """Open a span on ``(pid, lane)``; must be closed by :meth:`end`."""
+        self.events.append(("B", t, pid, lane, cat, name, args))
+
+    def end(self, pid: int, lane: str, cat: str, t: float) -> None:
+        """Close the innermost open span on ``(pid, lane)``."""
+        self.events.append(("E", t, pid, lane, cat, None, None))
+
+    def instant(
+        self,
+        pid: int,
+        lane: str,
+        cat: str,
+        name: str,
+        t: float,
+        args: Optional[dict] = None,
+    ) -> None:
+        """Record a point event (drops, retransmissions, merges)."""
+        self.events.append(("i", t, pid, lane, cat, name, args))
+
+    def counter(self, pid: int, name: str, t: float, value: Any) -> None:
+        """Record a counter sample (rendered as a track in Perfetto)."""
+        self.events.append(("C", t, pid, "counters", None, name, value))
+
+    # -- convenience --------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def breakdown(self) -> dict:
+        """Per-process time attribution (see :mod:`repro.obs.breakdown`)."""
+        from repro.obs.breakdown import compute_breakdown
+
+        return compute_breakdown(self.events)
+
+    def summary(self) -> str:
+        """Terminal flame-style summary (see :mod:`repro.obs.export`)."""
+        from repro.obs.export import flame_summary
+
+        return flame_summary(self)

@@ -163,10 +163,25 @@ class BaseDsmProtocol:
 
     def read_fault(self, pids: list[int]) -> Generator:
         self.check_read_allowed(pids)
+        tracer = self.node.sim.tracer
+        if tracer is None:
+            yield from self._make_valid(pids)
+            return
+        tracer.begin(
+            self.node.id, "app", "page-fault", f"read fault x{len(pids)}",
+            self.node.sim.now, {"pages": list(pids), "mode": "read"},
+        )
         yield from self._make_valid(pids)
+        tracer.end(self.node.id, "app", "page-fault", self.node.sim.now)
 
     def write_fault(self, pids: list[int]) -> Generator:
         self.check_write_allowed(pids)
+        tracer = self.node.sim.tracer
+        if tracer is not None:
+            tracer.begin(
+                self.node.id, "app", "page-fault", f"write fault x{len(pids)}",
+                self.node.sim.now, {"pages": list(pids), "mode": "write"},
+            )
         yield from self._make_valid(pids)
         for pid in pids:
             copy = self.mm.page(pid)
@@ -175,6 +190,8 @@ class BaseDsmProtocol:
                 yield from self.node.copy_cost(self.system.space.page_size)
                 self.mm.start_writing(pid)
                 self.directory.claim_origin(pid, self.node.id)
+        if tracer is not None:
+            tracer.end(self.node.id, "app", "page-fault", self.node.sim.now)
 
     def check_read_allowed(self, pids: list[int]) -> None:
         """Protocol-specific access discipline hook (VC enforces views)."""
@@ -197,20 +214,22 @@ class BaseDsmProtocol:
         if not faulting:
             return
         if len(faulting) == 1:
-            yield from self._make_one_valid(faulting[0])
+            # inline fetch runs on the faulting process's own ("app") timeline
+            yield from self._make_one_valid(faulting[0], "app")
             return
         fetchers = [
             self.node.sim.spawn(
-                self._make_one_valid(pid), name=f"fault-{self.node.id}-{pid}"
+                self._make_one_valid(pid, f"fetch-{pid}"),
+                name=f"fault-{self.node.id}-{pid}",
             )
             for pid in faulting
         ]
         yield from self.node.sim.all_of(fetchers)
 
-    def _make_one_valid(self, pid: int) -> Generator:
+    def _make_one_valid(self, pid: int, lane: str = "app") -> Generator:
         if self.mm.state(pid) is PageState.NO_COPY:
             yield from self._fetch_base_copy(pid)
-        yield from self._fetch_pending_diffs(pid)
+        yield from self._fetch_pending_diffs(pid, lane)
 
     def _fetch_base_copy(self, pid: int) -> Generator:
         """First touch: zero-fill if nobody has the page, else fetch it."""
@@ -231,7 +250,7 @@ class BaseDsmProtocol:
     # still needs its diffs merged
     FULL_PAGE_FETCH_THRESHOLD = 4
 
-    def _fetch_pending_diffs(self, pid: int) -> Generator:
+    def _fetch_pending_diffs(self, pid: int, lane: str = "app") -> Generator:
         """Pull and apply every pending diff for ``pid`` (in Lamport order)."""
         notices = self.pending.pop(pid, [])
         if not notices:
@@ -239,6 +258,20 @@ class BaseDsmProtocol:
             if copy is not None and copy.state is PageState.INVALID:
                 copy.state = PageState.RO
             return
+        tracer = self.node.sim.tracer
+        if tracer is None:
+            yield from self._pull_diffs(pid, notices)
+            return
+        tracer.begin(
+            self.node.id, lane, "diff-wait", f"page {pid}",
+            self.node.sim.now, {"page": pid, "notices": len(notices)},
+        )
+        try:
+            yield from self._pull_diffs(pid, notices)
+        finally:
+            tracer.end(self.node.id, lane, "diff-wait", self.node.sim.now)
+
+    def _pull_diffs(self, pid: int, notices: list[IntervalNotice]) -> Generator:
         by_writer: dict[int, list[int]] = {}
         for notice in notices:
             by_writer.setdefault(notice.node, []).append(notice.idx)

@@ -120,7 +120,7 @@ class HlrcProtocol(LrcProtocol):
 
     # -- fault side: whole-page fetch from the home ---------------------------------------
 
-    def _make_one_valid(self, pid: int) -> Generator:
+    def _make_one_valid(self, pid: int, lane: str = "app") -> Generator:
         state = self.mm.state(pid)
         if state in (PageState.RO, PageState.RW):
             return

@@ -133,6 +133,12 @@ class LrcProtocol(BaseDsmProtocol):
     def acquire_lock(self, lock_id: int) -> Generator:
         """Acquire a global lock (``yield from``)."""
         t0 = self.node.sim.now
+        tracer = self.node.sim.tracer
+        if tracer is not None:
+            tracer.begin(
+                self.node.id, "app", "acquire-wait", f"lock {lock_id}",
+                t0, {"lock": lock_id},
+            )
         manager = self.lock_manager(lock_id)
         if manager == self.node.id:
             state = self._lock_state(lock_id)
@@ -159,6 +165,8 @@ class LrcProtocol(BaseDsmProtocol):
             payload = yield evt.wait()
             yield from self.node.compute(NOTICE_PROC_COST * len(payload["notices"]))
             self._absorb(payload["notices"], payload["vc"])
+        if tracer is not None:
+            tracer.end(self.node.id, "app", "acquire-wait", self.node.sim.now)
         self.stats.add_acquire_time(self.node.sim.now - t0)
 
     def release_lock(self, lock_id: int) -> Generator:
@@ -246,6 +254,11 @@ class LrcProtocol(BaseDsmProtocol):
     def barrier(self, bid: int = 0) -> Generator:
         """Global barrier with centralised consistency maintenance."""
         t0 = self.node.sim.now
+        tracer = self.node.sim.tracer
+        if tracer is not None:
+            tracer.begin(
+                self.node.id, "app", "barrier-wait", f"barrier {bid}", t0, {"bid": bid}
+            )
         yield from self._publish_own_interval()
         gen = self._barrier_gen
         self._barrier_gen += 1
@@ -267,6 +280,8 @@ class LrcProtocol(BaseDsmProtocol):
         payload = yield evt.wait()
         yield from self.node.compute(NOTICE_PROC_COST * len(payload["notices"]))
         self._absorb(payload["notices"], payload["vc"])
+        if tracer is not None:
+            tracer.end(self.node.id, "app", "barrier-wait", self.node.sim.now)
         self.stats.add_barrier_time(self.node.sim.now - t0)
 
     def _handle_barrier_arrive(self, msg: Message) -> Generator:

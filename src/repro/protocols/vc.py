@@ -138,6 +138,12 @@ class VcProtocol(BaseDsmProtocol):
 
     def _acquire(self, view_id: int, mode: str) -> Generator:
         t0 = self.node.sim.now
+        tracer = self.node.sim.tracer
+        if tracer is not None:
+            tracer.begin(
+                self.node.id, "app", "acquire-wait", f"view {view_id} ({mode})",
+                t0, {"view": view_id, "mode": mode},
+            )
         manager = self.view_manager(view_id)
         evt = Event(self.node.sim)
         self._grant_events[view_id] = evt
@@ -153,6 +159,8 @@ class VcProtocol(BaseDsmProtocol):
             )
         payload = yield evt.wait()
         yield from self._apply_grant(view_id, payload)
+        if tracer is not None:
+            tracer.end(self.node.id, "app", "acquire-wait", self.node.sim.now)
         self.stats.add_acquire_time(self.node.sim.now - t0)
         self.system.trace(
             kind="acquire",
@@ -355,6 +363,11 @@ class VcProtocol(BaseDsmProtocol):
     def barrier(self, bid: int = 0) -> Generator:
         """Barrier with no consistency action (VOPP semantics)."""
         t0 = self.node.sim.now
+        tracer = self.node.sim.tracer
+        if tracer is not None:
+            tracer.begin(
+                self.node.id, "app", "barrier-wait", f"barrier {bid}", t0, {"bid": bid}
+            )
         gen = self._barrier_gen
         self._barrier_gen += 1
         evt = Event(self.node.sim)
@@ -369,6 +382,8 @@ class VcProtocol(BaseDsmProtocol):
                 size=CTRL_MSG_BYTES,
             )
         yield evt.wait()
+        if tracer is not None:
+            tracer.end(self.node.id, "app", "barrier-wait", self.node.sim.now)
         self.stats.add_barrier_time(self.node.sim.now - t0)
 
     def _handle_barrier_arrive(self, msg: Message) -> Generator:

@@ -238,6 +238,11 @@ class Process:
         self.result = result
         self.error = error
         self.sim._live_processes -= 1
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.counter(-1, "live_processes", self.sim.now, self.sim._live_processes)
+            if error is not None:
+                tracer.instant(-1, "engine", "process", f"died: {self.name}", self.sim.now)
         for joiner, token in self._joiners:
             if error is not None:
                 self.sim.call_soon(joiner._resume, None, error, token)
@@ -269,6 +274,10 @@ class Simulator:
     def __init__(self) -> None:
         self.now: float = 0.0
         self.events_processed: int = 0
+        # optional repro.obs.EventTracer; None (the default) is the
+        # zero-overhead fast path — the run loop itself is never instrumented
+        # and every other site guards on this attribute before doing any work
+        self.tracer = None
         self._heap: list[tuple[float, int, Callable, tuple]] = []
         self._timers: deque[tuple[float, int, Callable, tuple]] = deque()
         self._ready: deque[tuple[Callable, tuple]] = deque()
@@ -346,6 +355,9 @@ class Simulator:
         proc = Process(self, gen, name=name)
         self._live_processes += 1
         self._ready.append((proc._resume, (None, None, 0)))
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.counter(-1, "live_processes", self.now, self._live_processes)
         return proc
 
     def fork(self, gen: Generator, name: str = "") -> Effect:

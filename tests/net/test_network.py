@@ -286,4 +286,4 @@ def test_stats_snapshot_roundtrip():
     snap = c.stats.snapshot()
     assert snap["num_msg"] == 1
     assert snap["data_bytes"] == 64
-    assert snap["by_kind"] == {str(MessageKind.TEST): 1}
+    assert snap["by_kind"] == {str(MessageKind.TEST): {"count": 1, "bytes": 64}}

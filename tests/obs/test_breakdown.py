@@ -1,0 +1,109 @@
+"""Tests for per-process time-breakdown attribution."""
+
+import pytest
+
+from repro.apps import APPS
+from repro.apps.common import run_app
+from repro.obs import (
+    COMPUTE,
+    IDLE,
+    EventTracer,
+    compute_breakdown,
+    format_breakdown,
+)
+
+
+def span(pid, cat, t0, t1, lane="app"):
+    return [
+        ("B", t0, pid, lane, cat, cat, None),
+        ("E", t1, pid, lane, cat, None, None),
+    ]
+
+
+def test_synthetic_partition_is_exact():
+    events = [
+        ("B", 0.0, 0, "app", "run", "rank 0", None),
+        *span(0, "barrier-wait", 1.0, 3.0),
+        ("E", 10.0, 0, "app", "run", None, None),
+    ]
+    out = compute_breakdown(events)
+    row = out[0]
+    assert row["seconds"]["barrier-wait"] == pytest.approx(2.0)
+    assert row["seconds"][COMPUTE] == pytest.approx(8.0)
+    assert row["total"] == pytest.approx(10.0)
+    assert sum(row["percent"].values()) == pytest.approx(100.0)
+
+
+def test_innermost_open_span_wins():
+    events = [
+        ("B", 0.0, 0, "app", "run", "rank 0", None),
+        ("B", 1.0, 0, "app", "barrier-wait", "b", None),
+        ("B", 2.0, 0, "app", "page-fault", "pf", None),
+        ("E", 4.0, 0, "app", "page-fault", None, None),
+        ("E", 5.0, 0, "app", "barrier-wait", None, None),
+        ("E", 6.0, 0, "app", "run", None, None),
+    ]
+    row = compute_breakdown(events)[0]
+    assert row["seconds"]["page-fault"] == pytest.approx(2.0)
+    assert row["seconds"]["barrier-wait"] == pytest.approx(2.0)
+    assert row["seconds"][COMPUTE] == pytest.approx(2.0)
+
+
+def test_idle_fills_to_global_end():
+    events = [
+        ("B", 0.0, 0, "app", "run", "rank 0", None),
+        ("E", 4.0, 0, "app", "run", None, None),
+        ("B", 0.0, 1, "app", "run", "rank 1", None),
+        ("E", 10.0, 1, "app", "run", None, None),
+    ]
+    out = compute_breakdown(events)
+    assert out[0]["seconds"][IDLE] == pytest.approx(6.0)
+    assert IDLE not in out[1]["seconds"]
+    assert out[0]["total"] == out[1]["total"] == pytest.approx(10.0)
+
+
+def test_non_app_lanes_are_ignored():
+    events = [
+        ("B", 0.0, 0, "app", "run", "rank 0", None),
+        *span(0, "rx", 1.0, 9.0, lane="nic-rx"),
+        ("E", 2.0, 0, "app", "run", None, None),
+    ]
+    row = compute_breakdown(events)[0]
+    assert row["seconds"][COMPUTE] == pytest.approx(2.0)
+    assert "rx" not in row["seconds"]
+
+
+def test_unclosed_run_raises():
+    events = [("B", 0.0, 0, "app", "run", "rank 0", None)]
+    with pytest.raises(ValueError):
+        compute_breakdown(events)
+
+
+def test_empty_trace_gives_empty_breakdown():
+    assert compute_breakdown([]) == {}
+    assert "no traced processes" in format_breakdown({})
+
+
+@pytest.mark.parametrize(
+    "app,protocol",
+    [("is", "vc_d"), ("is", "lrc_d"), ("is", "hlrc_d"),
+     ("sor", "vc_sd"), ("nn", "mpi")],
+)
+def test_percentages_sum_to_100_across_protocols(app, protocol):
+    tracer = EventTracer()
+    result = run_app(APPS[app], protocol, 4, tracer=tracer)
+    assert result.breakdown is not None
+    assert sorted(result.breakdown) == list(range(4))
+    for row in result.breakdown.values():
+        assert sum(row["percent"].values()) == pytest.approx(100.0, abs=1e-9)
+        assert sum(row["seconds"].values()) == pytest.approx(row["total"])
+
+
+def test_format_breakdown_renders_all_processes():
+    tracer = EventTracer()
+    run_app(APPS["sor"], "vc_sd", 2, tracer=tracer)
+    text = format_breakdown(tracer.breakdown())
+    assert "compute" in text
+    assert "mean" in text
+    for pid in (0, 1):
+        assert f"\n{pid:>6}" in text

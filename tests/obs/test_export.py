@@ -1,0 +1,98 @@
+"""Tests for the trace exporters and the Chrome-trace schema validator."""
+
+import io
+import json
+
+import pytest
+
+from repro.apps import APPS
+from repro.apps.common import run_app
+from repro.obs import (
+    EventTracer,
+    chrome_trace,
+    flame_summary,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+
+def small_trace():
+    tracer = EventTracer()
+    run_app(APPS["sor"], "vc_sd", 2, tracer=tracer)
+    return tracer
+
+
+def test_chrome_trace_validates(tmp_path):
+    tracer = small_trace()
+    path = tmp_path / "trace.json"
+    write_chrome_trace(tracer, str(path))
+    doc = json.loads(path.read_text())
+    summary = validate_chrome_trace(doc)
+    assert summary["events"] > 0
+    assert summary["spans"] > 0
+    # 2 app nodes + the engine-global pseudo-process
+    assert summary["processes"] == 3
+
+
+def test_chrome_trace_has_metadata_and_microseconds():
+    tracer = small_trace()
+    doc = chrome_trace(tracer)
+    events = doc["traceEvents"]
+    names = {e["args"]["name"] for e in events if e.get("name") == "process_name"}
+    assert {"simulator", "node-0", "node-1"} <= names
+    threads = {e["args"]["name"] for e in events if e.get("name") == "thread_name"}
+    assert "app" in threads and "nic-tx" in threads
+    # ts is simulated microseconds: the last app events land around the
+    # simulated run time (seconds) * 1e6
+    last_ts = max(e["ts"] for e in events)
+    assert last_ts > 1.0  # anything sub-microsecond would mean wrong units
+
+
+def test_write_chrome_trace_deterministic_bytes(tmp_path):
+    p1, p2 = tmp_path / "a.json", tmp_path / "b.json"
+    write_chrome_trace(small_trace(), str(p1))
+    write_chrome_trace(small_trace(), str(p2))
+    assert p1.read_bytes() == p2.read_bytes()
+
+
+def test_jsonl_roundtrip():
+    tracer = small_trace()
+    buf = io.StringIO()
+    write_jsonl(tracer, buf)
+    lines = buf.getvalue().splitlines()
+    assert len(lines) == len(tracer.events)
+    first = json.loads(lines[0])
+    assert set(first) == {"ph", "t", "pid", "lane", "cat", "name", "args"}
+
+
+def test_flame_summary_text():
+    text = flame_summary(small_trace())
+    assert "Where the time went" in text
+    assert "compute" in text
+    assert "Breakdown" in text
+
+
+def test_validator_rejects_bad_documents():
+    with pytest.raises(ValueError):
+        validate_chrome_trace({})
+    with pytest.raises(ValueError):
+        validate_chrome_trace({"traceEvents": []})
+    with pytest.raises(ValueError):
+        validate_chrome_trace(
+            {"traceEvents": [{"ph": "Z", "pid": 0, "tid": 0, "ts": 0.0}]}
+        )
+    # unbalanced B/E
+    with pytest.raises(ValueError):
+        validate_chrome_trace(
+            {
+                "traceEvents": [
+                    {"ph": "B", "name": "x", "pid": 0, "tid": 0, "ts": 0.0}
+                ]
+            }
+        )
+    # E without B
+    with pytest.raises(ValueError):
+        validate_chrome_trace(
+            {"traceEvents": [{"ph": "E", "pid": 0, "tid": 0, "ts": 0.0}]}
+        )

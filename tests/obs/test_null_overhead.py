@@ -1,0 +1,55 @@
+"""Tier-1 perf guard: tracing disabled must equal current behaviour exactly.
+
+The null-tracer fast path is ``sim.tracer is None`` checked at each
+instrumentation site; with no tracer installed a run must execute the same
+simulator events, produce bit-identical statistics rows, and allocate no
+trace events.  (Wall-clock overhead is covered by the committed
+``BENCH_hotpath.json`` harness; these tests pin the *behavioural* half of
+the zero-overhead guarantee, which is what the hot path's event count and
+table rows measure.)
+"""
+
+from repro.apps import APPS
+from repro.apps.common import run_app
+from repro.obs import EventTracer
+from repro.sim import Simulator
+
+
+def test_simulator_has_no_tracer_by_default():
+    assert Simulator().tracer is None
+
+
+def test_traced_run_does_not_perturb_the_simulation():
+    base = run_app(APPS["is"], "vc_d", 4)
+    tracer = EventTracer()
+    traced = run_app(APPS["is"], "vc_d", 4, tracer=tracer)
+    # identical simulated outcome, event for event
+    assert traced.events == base.events
+    assert traced.time == base.time
+    assert traced.table_row() == base.table_row()
+    assert len(tracer.events) > 0
+
+
+def test_untraced_run_allocates_no_events():
+    """An untraced run must leave a fresh tracer completely empty."""
+    sentinel = EventTracer()
+    run_app(APPS["sor"], "vc_sd", 2)  # no tracer passed anywhere
+    assert sentinel.events == []
+
+
+def test_untraced_result_has_no_breakdown():
+    result = run_app(APPS["sor"], "vc_sd", 2)
+    assert result.breakdown is None
+
+
+def test_view_tracer_and_event_tracer_compose():
+    from repro.tools.tracer import ViewTracer
+
+    tracer, views = EventTracer(), ViewTracer()
+    result = run_app(
+        APPS["is"], "vc_d", 2, tracer=tracer, view_tracer=views
+    )
+    base = run_app(APPS["is"], "vc_d", 2)
+    assert result.table_row() == base.table_row()
+    assert views.profiles  # view events recorded
+    assert tracer.events  # structured events recorded

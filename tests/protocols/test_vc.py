@@ -256,8 +256,8 @@ def test_vc_barrier_carries_no_notices():
 
     by_kind = system.stats.net.by_kind
     # 3 arrivals + 3 releases, each 16 bytes of control payload
-    assert by_kind[str(MessageKind.BARRIER_ARRIVE)] == 3
-    assert by_kind[str(MessageKind.BARRIER_RELEASE)] == 3
+    assert by_kind[str(MessageKind.BARRIER_ARRIVE)] == [3, 3 * 16]
+    assert by_kind[str(MessageKind.BARRIER_RELEASE)] == [3, 3 * 16]
 
 
 @pytest.mark.parametrize("proto", PROTOS)

@@ -41,6 +41,61 @@ def test_sweep_mpi_on_non_nn_rejected(capsys):
     assert main(["sweep", "gauss", "--protocols", "mpi", "--procs", "2"]) == 2
 
 
+def test_trace_command_prints_breakdown_and_mix(capsys, tmp_path):
+    import json
+
+    from repro.obs import validate_chrome_trace
+
+    out_path = tmp_path / "t.json"
+    assert main([
+        "trace", "is", "--nprocs", "4", "--protocol", "vc_d",
+        "--trace-out", str(out_path),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "Where the time went" in out
+    assert "Breakdown" in out
+    assert "Message mix" in out
+    assert "bytes" in out
+    summary = validate_chrome_trace(json.loads(out_path.read_text()))
+    assert summary["spans"] > 0
+
+
+def test_trace_command_jsonl_output(capsys, tmp_path):
+    import json
+
+    path = tmp_path / "events.jsonl"
+    assert main([
+        "trace", "sor", "--nprocs", "2", "--jsonl-out", str(path),
+    ]) == 0
+    lines = path.read_text().splitlines()
+    assert lines and all(json.loads(line)["ph"] in "BEiC" for line in lines)
+
+
+def test_run_with_trace_flag(capsys):
+    assert main([
+        "run", "sor", "--protocol", "vc_sd", "--nprocs", "2", "--trace",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "Time (Sec.)" in out
+    assert "Breakdown" in out
+
+
+def test_run_with_trace_views(capsys):
+    assert main([
+        "run", "is", "--protocol", "vc_d", "--nprocs", "2", "--trace-views",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "View access report" in out
+    assert "§3.6" in out
+
+
+def test_run_trace_views_needs_vc(capsys):
+    assert main([
+        "run", "is", "--protocol", "lrc_d", "--nprocs", "2", "--trace-views",
+    ]) == 2
+    assert "vc_d or vc_sd" in capsys.readouterr().err
+
+
 def test_invalid_app_rejected():
     with pytest.raises(SystemExit):
         main(["run", "nosuchapp"])
@@ -54,5 +109,5 @@ def test_invalid_table_rejected():
 def test_parser_has_all_commands():
     parser = build_parser()
     text = parser.format_help()
-    for cmd in ("run", "table", "sweep", "list"):
+    for cmd in ("run", "table", "sweep", "trace", "list"):
         assert cmd in text

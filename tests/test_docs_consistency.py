@@ -8,7 +8,8 @@ REPO = Path(__file__).resolve().parents[1]
 
 def test_required_documents_exist():
     for name in ("README.md", "DESIGN.md", "EXPERIMENTS.md", "LICENSE",
-                 "docs/protocols.md", "docs/simulator.md"):
+                 "docs/protocols.md", "docs/simulator.md",
+                 "docs/observability.md"):
         assert (REPO / name).is_file(), name
 
 
@@ -65,11 +66,12 @@ def test_every_public_module_has_a_docstring():
     for module in (
         "repro", "repro.sim", "repro.net", "repro.memory", "repro.protocols",
         "repro.core", "repro.mpi", "repro.apps", "repro.bench", "repro.tools",
-        "repro.cli",
+        "repro.cli", "repro.obs",
         "repro.sim.engine", "repro.net.transport", "repro.memory.diff",
         "repro.protocols.lrc", "repro.protocols.hlrc", "repro.protocols.vc",
         "repro.protocols.vc_sd", "repro.core.vopp", "repro.core.shared_array",
         "repro.tools.tracer", "repro.tools.autoview",
+        "repro.obs.tracer", "repro.obs.breakdown", "repro.obs.export",
     ):
         mod = importlib.import_module(module)
         assert mod.__doc__ and len(mod.__doc__.strip()) > 20, module

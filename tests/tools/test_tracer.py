@@ -101,6 +101,59 @@ def test_tracer_flags_oversized_views():
     assert "KB" in advice and "partition" in advice
 
 
+def test_advice_wait_flag_threshold():
+    """Mean exclusive wait just above WAIT_FLAG_SECONDS trips the flag."""
+    from repro.tools.tracer import WAIT_FLAG_SECONDS
+
+    def advice_for(wait):
+        tracer = ViewTracer()
+        # one read acquire keeps this off the read-mostly-conversion branch
+        tracer.record(kind="acquire", view=0, mode="r", wait=wait, t=0.0)
+        for _ in range(3):
+            tracer.record(kind="acquire", view=0, mode="w", wait=wait, t=0.0)
+        return " ".join(tracer.advice())
+
+    assert "splitting" in advice_for(WAIT_FLAG_SECONDS * 2)
+    assert advice_for(WAIT_FLAG_SECONDS / 2) == (
+        "no contended or oversized views detected"
+    )
+
+
+def test_advice_bytes_flag_threshold():
+    """Mean grant payload above BYTES_FLAG flags the view as oversized."""
+    from repro.tools.tracer import BYTES_FLAG
+
+    def advice_for(size):
+        tracer = ViewTracer()
+        tracer.record(kind="grant", view=7, size=size, t=0.0)
+        return " ".join(tracer.advice())
+
+    assert "partition" in advice_for(BYTES_FLAG * 2)
+    assert advice_for(BYTES_FLAG // 2) == "no contended or oversized views detected"
+
+
+def test_advice_read_mostly_conversion():
+    """Contended exclusive-only views get the acquire_Rview suggestion."""
+    from repro.tools.tracer import READ_MOSTLY_RATIO, WAIT_FLAG_SECONDS
+
+    tracer = ViewTracer()
+    for _ in range(READ_MOSTLY_RATIO):
+        tracer.record(
+            kind="acquire", view=2, mode="w", wait=WAIT_FLAG_SECONDS * 3, t=0.0
+        )
+    advice = " ".join(tracer.advice())
+    assert "acquire_Rview" in advice and "§3.4" in advice
+
+
+def test_view_tracer_deterministic_across_runs():
+    """Two identical runs record identical event streams and reports."""
+    _, t1 = make_contended_run()
+    _, t2 = make_contended_run()
+    assert t1.events == t2.events
+    assert t1.report() == t2.report()
+    assert t1.advice() == t2.advice()
+
+
 def test_no_tracer_means_no_overhead_path():
     """Without an installed tracer, runs behave identically."""
     def run(with_tracer):
