@@ -64,6 +64,7 @@ class AppResult:
     verified: bool = False
     events: int = 0  # simulator callbacks executed (perf-harness denominator)
     breakdown: Any = None  # per-process time attribution (traced runs only)
+    metrics: Any = None  # repro.obs.Metrics registry (metered runs only)
 
     def table_row(self) -> dict:
         if hasattr(self.stats, "table_row"):
@@ -82,6 +83,7 @@ def run_app(
     nodecfg: Optional[NodeConfig] = None,
     tracer: Any = None,
     view_tracer: Any = None,
+    metrics: Any = None,
 ) -> AppResult:
     """Build, run and (optionally) verify one application.
 
@@ -93,7 +95,9 @@ def run_app(
     ``tracer`` (a :class:`repro.obs.EventTracer`) records structured events
     and fills ``AppResult.breakdown``; ``view_tracer`` (a
     :class:`repro.tools.tracer.ViewTracer`) records view-level sync events
-    (DSM protocols only).
+    (DSM protocols only); ``metrics`` (a :class:`repro.obs.Metrics`) collects
+    per-view/per-page contention metrics and is handed back on
+    ``AppResult.metrics``.
     """
     config = config or app_module.default_config()
     if protocol == "mpi":
@@ -102,6 +106,8 @@ def run_app(
         system = MpiSystem(nprocs, netcfg=netcfg, nodecfg=nodecfg)
         if tracer is not None:
             system.cluster.sim.tracer = tracer
+        if metrics is not None:
+            system.cluster.sim.metrics = metrics
         output = app_module.run_mpi(system, config)
         result = AppResult(
             protocol, nprocs, output, system.stats, system.time,
@@ -111,6 +117,8 @@ def run_app(
         system = make_system(nprocs, protocol, netcfg=netcfg, nodecfg=nodecfg)
         if tracer is not None:
             system.sim.tracer = tracer
+        if metrics is not None:
+            system.sim.metrics = metrics
         if view_tracer is not None:
             system.dsm.tracer = view_tracer
         body = app_module.build(system, config, variant)
@@ -122,6 +130,8 @@ def run_app(
         )
     if tracer is not None:
         result.breakdown = tracer.breakdown()
+    if metrics is not None:
+        result.metrics = metrics
     if verify:
         expected = app_module.sequential(config)
         result.verified = app_module.outputs_match(output, expected)

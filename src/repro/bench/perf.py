@@ -61,6 +61,37 @@ def _gc_paused():
         gc.collect()
 
 
+def _message_mix(stats) -> dict:
+    """Per-kind message mix with breakdown percentages.
+
+    ``stats`` is a DSM :class:`~repro.protocols.runstats.RunStats` (which
+    embeds the shared :class:`~repro.net.stats.NetStats`) or a bare NetStats
+    (MPI).  Kind keys are normalised from ``"MessageKind.DIFF_REQUEST"`` to
+    ``"DIFF_REQUEST"``; kinds are sorted by descending message count (then
+    name) so the report reads top-contributor first.
+    """
+    net = getattr(stats, "net", stats).snapshot()
+    total_msg = net["num_msg"] or 1
+    total_bytes = net["data_bytes"] or 1
+    mix = {}
+    by_kind = net["by_kind"]
+    for k in sorted(by_kind, key=lambda k: (-by_kind[k]["count"], k)):
+        rec = by_kind[k]
+        mix[k.split(".", 1)[-1]] = {
+            "count": rec["count"],
+            "bytes": rec["bytes"],
+            "pct_msgs": round(100.0 * rec["count"] / total_msg, 2),
+            "pct_bytes": round(100.0 * rec["bytes"] / total_bytes, 2),
+        }
+    return {
+        "num_msg": net["num_msg"],
+        "data_bytes": net["data_bytes"],
+        "rexmit": net["rexmit"],
+        "drops": net["drops"],
+        "by_kind": mix,
+    }
+
+
 def run_hotpath_benchmark(
     nprocs: int = 16,
     config: Optional[is_sort.IsConfig] = None,
@@ -95,6 +126,7 @@ def run_hotpath_benchmark(
             "sim_time_seconds": round(result.time, 6),
             "verified": result.verified,
             "table_row": result.stats.table_row(),
+            "message_mix": _message_mix(result.stats),
         }
     return {
         "benchmark": "hotpath_is",

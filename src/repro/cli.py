@@ -12,8 +12,13 @@ Commands
     Print a speedup table for an application across processor counts.
 ``trace APP``
     Run one application with event tracing: per-process time breakdown,
-    message mix, and optional Chrome-trace/JSONL export (``--trace-out``,
-    ``--jsonl-out``); see docs/observability.md.
+    message mix, optional causal critical path (``--critical-path``),
+    contention metrics (``--metrics``, ``--metrics-out``) and
+    Chrome-trace/JSONL export (``--trace-out``, ``--jsonl-out``); see
+    docs/observability.md.
+``report BASE NEW``
+    Compare two benchmark reports (files or ``git:REV[:path]`` specs) and
+    flag regressions; ``--check`` makes regressions a non-zero exit for CI.
 ``list``
     Show the available applications, protocols, variants and tables.
 """
@@ -56,9 +61,15 @@ def _print_message_mix(stats) -> None:
 
 
 def _write_trace_outputs(tracer, args: argparse.Namespace) -> None:
-    from repro.obs import write_chrome_trace, write_jsonl
+    from repro.obs import chrome_trace, validate_chrome_trace, write_chrome_trace, write_jsonl
 
     if getattr(args, "trace_out", None):
+        # validate before writing: an unbalanced trace (a span opened but
+        # never closed) silently renders wrong in Perfetto, so fail loudly
+        try:
+            validate_chrome_trace(chrome_trace(tracer))
+        except ValueError as exc:
+            raise SystemExit(f"error: trace failed schema validation: {exc}") from exc
         write_chrome_trace(tracer, args.trace_out)
         print(f"wrote Chrome trace to {args.trace_out} (open in https://ui.perfetto.dev)")
     if getattr(args, "jsonl_out", None):
@@ -71,11 +82,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.protocol == "mpi" and not hasattr(app, "run_mpi"):
         print(f"error: {args.app} has no MPI version (only nn does)", file=sys.stderr)
         return 2
-    tracer = view_tracer = None
+    tracer = view_tracer = metrics = None
     if args.trace or args.trace_out:
         from repro.obs import EventTracer
 
         tracer = EventTracer()
+    if args.metrics or args.metrics_out:
+        from repro.obs import Metrics
+
+        metrics = Metrics()
     if args.trace_views:
         if args.protocol not in ("vc_d", "vc_sd"):
             print(
@@ -95,6 +110,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         verify=not args.no_verify,
         tracer=tracer,
         view_tracer=view_tracer,
+        metrics=metrics,
     )
     status = "verified against sequential reference" if result.verified else "NOT verified"
     print(f"{args.app} on {args.protocol}, {args.nprocs} processors ({status})")
@@ -107,6 +123,14 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(format_breakdown(result.breakdown))
     if tracer is not None:
         _write_trace_outputs(tracer, args)
+    if metrics is not None:
+        from repro.obs import format_contention
+
+        print()
+        print(format_contention(metrics))
+        if args.metrics_out:
+            metrics.write_json(args.metrics_out)
+            print(f"wrote metrics snapshot to {args.metrics_out}")
     if view_tracer is not None:
         print()
         print(view_tracer.report())
@@ -118,9 +142,10 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     if args.protocol == "mpi" and not hasattr(app, "run_mpi"):
         print(f"error: {args.app} has no MPI version (only nn does)", file=sys.stderr)
         return 2
-    from repro.obs import EventTracer, flame_summary
+    from repro.obs import EventTracer, Metrics, flame_summary
 
     tracer = EventTracer()
+    metrics = Metrics() if (args.metrics or args.metrics_out) else None
     result = run_app(
         app,
         args.protocol,
@@ -128,6 +153,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         variant=args.variant,
         verify=not args.no_verify,
         tracer=tracer,
+        metrics=metrics,
     )
     print(
         f"{args.app} on {args.protocol}, {args.nprocs} processors "
@@ -136,7 +162,57 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     print()
     print(flame_summary(tracer))
     _print_message_mix(result.stats)
+    if args.critical_path:
+        from repro.obs import compute_critical_path, format_critical_path
+
+        print()
+        print(format_critical_path(compute_critical_path(tracer)))
+    if metrics is not None:
+        from repro.obs import format_contention
+
+        print()
+        print(format_contention(metrics))
+        if args.metrics_out:
+            metrics.write_json(args.metrics_out)
+            print(f"wrote metrics snapshot to {args.metrics_out}")
     _write_trace_outputs(tracer, args)
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.obs import (
+        DEFAULT_THROUGHPUT_TOLERANCE,
+        compare_reports,
+        format_html,
+        format_report,
+        load_report,
+    )
+
+    tolerance = args.throughput_tolerance
+    if tolerance is None:
+        tolerance = DEFAULT_THROUGHPUT_TOLERANCE
+    try:
+        base = load_report(args.base)
+        new = load_report(args.new)
+        cmp = compare_reports(
+            base, new,
+            tolerance=tolerance,
+            base_label=args.base, new_label=args.new,
+        )
+    except (ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(format_report(cmp, verbose=args.verbose))
+    if args.html:
+        with open(args.html, "w") as fh:
+            fh.write(format_html(cmp))
+        print(f"wrote HTML report to {args.html}")
+    if args.check and cmp.regressions:
+        print(
+            f"error: {len(cmp.regressions)} regression(s) beyond tolerance",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -232,6 +308,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--trace-views", action="store_true",
                        help="record view accesses; print the paper-§3.6 "
                        "partitioning advice (VC protocols only)")
+    p_run.add_argument("--metrics", action="store_true",
+                       help="record contention metrics; print per-view/per-page tables")
+    p_run.add_argument("--metrics-out", default=None, metavar="PATH",
+                       help="write the metrics snapshot as JSON (implies --metrics)")
     p_run.set_defaults(fn=_cmd_run)
 
     p_trace = sub.add_parser(
@@ -249,7 +329,34 @@ def build_parser() -> argparse.ArgumentParser:
                          "(open in https://ui.perfetto.dev)")
     p_trace.add_argument("--jsonl-out", default=None, metavar="PATH",
                          help="write the raw events as JSONL")
+    p_trace.add_argument("--critical-path", action="store_true",
+                         help="walk the causal critical path and print its "
+                         "per-category attribution and wait slack")
+    p_trace.add_argument("--metrics", action="store_true",
+                         help="record contention metrics; print per-view/per-page tables")
+    p_trace.add_argument("--metrics-out", default=None, metavar="PATH",
+                         help="write the metrics snapshot as JSON (implies --metrics)")
     p_trace.set_defaults(fn=_cmd_trace)
+
+    p_report = sub.add_parser(
+        "report",
+        help="compare two benchmark reports (BENCH_hotpath.json / "
+        "BENCH_sweep.json files or git:REV[:path] specs) and flag regressions",
+    )
+    p_report.add_argument("base", help="baseline report: a path or git:REV[:path]")
+    p_report.add_argument("new", help="candidate report: a path or git:REV[:path]")
+    p_report.add_argument("--check", action="store_true",
+                          help="exit 1 if any metric regresses beyond tolerance")
+    p_report.add_argument("--html", default=None, metavar="PATH",
+                          help="also write a standalone HTML dashboard")
+    p_report.add_argument(
+        "--throughput-tolerance", type=float, default=None, metavar="FRAC",
+        help="relative slowdown allowed on events/sec metrics "
+        "(default 0.25; simulated metrics are always compared exactly)",
+    )
+    p_report.add_argument("--verbose", action="store_true",
+                          help="print every cell, not just changed ones")
+    p_report.set_defaults(fn=_cmd_report)
 
     p_table = sub.add_parser("table", help="regenerate a paper table")
     p_table.add_argument("number", type=int, choices=range(1, 10))

@@ -91,6 +91,9 @@ class MpiComm:
         key = (msg.payload["src"], msg.payload["tag"])
         waiters = self._waiters.get(key)
         if waiters:
+            tracer = self.node.sim.tracer
+            if tracer is not None:
+                tracer.wake(self.rank, self.node.sim.now)
             waiters.popleft().set(msg.payload["data"])
         else:
             self._queues.setdefault(key, deque()).append(msg.payload["data"])
@@ -191,9 +194,15 @@ class MpiComm:
                 self.rank, "app", "barrier-wait", "mpi barrier",
                 self.node.sim.now, {"tag": tag},
             )
+        t0 = self.node.sim.now
         yield from self.allreduce(token, op=np.add, tag=tag)
         if tracer is not None:
             tracer.end(self.rank, "app", "barrier-wait", self.node.sim.now)
+        metrics = self.node.sim.metrics
+        if metrics is not None:
+            metrics.observe(
+                "barrier_wait_seconds", self.node.sim.now - t0, node=self.rank
+            )
         return None
 
     def compute(self, seconds: float) -> Generator:

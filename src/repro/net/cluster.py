@@ -65,7 +65,17 @@ class Node:
                 raise LookupError(
                     f"node {self.id}: no handler for message kind {msg.kind!r}"
                 )
-            yield from handler(msg)
+            tracer = self.sim.tracer
+            if tracer is None:
+                yield from handler(msg)
+            else:
+                # dispatch-lane span + handler context for causal wake
+                # attribution (see repro.obs.tracer, "Causal edges")
+                tracer.begin_dispatch(
+                    self.id, msg.msg_id, msg.kind.name, msg.src, self.sim.now
+                )
+                yield from handler(msg)
+                tracer.end_dispatch(self.id, self.sim.now)
 
     # -- communication helpers -----------------------------------------------------
 

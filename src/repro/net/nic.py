@@ -91,7 +91,8 @@ class Nic:
         if tracer is not None:
             tracer.begin(
                 self.node_id, "nic-tx", "tx", f"{msg.kind.name}->{msg.dst}",
-                self.sim.now, {"bytes": msg.size, "dst": msg.dst},
+                self.sim.now,
+                {"bytes": msg.size, "dst": msg.dst, "msg": tracer.norm(msg.msg_id)},
             )
         # software send overhead + wire serialisation at link rate
         self.sim.schedule(
@@ -155,7 +156,8 @@ class Nic:
         if tracer is not None:
             tracer.begin(
                 self.node_id, "nic-rx", "rx", f"{msg.kind.name}<-{msg.src}",
-                self.sim.now, {"bytes": msg.size, "src": msg.src},
+                self.sim.now,
+                {"bytes": msg.size, "src": msg.src, "msg": tracer.norm(msg.msg_id)},
             )
         # inbound wire time (the port is shared by all senders) + software
         # receive overhead

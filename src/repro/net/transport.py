@@ -96,6 +96,9 @@ class Transport:
             src=self.node_id, dst=dst, kind=kind, payload=payload, size=size, need_ack=True
         )
         self.stats.count_send(kind, size)
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.causal_send(msg.msg_id, self.node_id, self.sim.now, kind.name)
         acked = Event(self.sim)
         self._ack_events[msg.msg_id] = acked
         try:
@@ -116,6 +119,9 @@ class Transport:
         )
         msg.req_id = msg.msg_id
         self.stats.count_send(kind, size)
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.causal_send(msg.msg_id, self.node_id, self.sim.now, kind.name)
         replied = Event(self.sim)
         self._pending_replies[msg.req_id] = replied
         try:
@@ -136,6 +142,9 @@ class Transport:
             is_reply=True,
         )
         self.stats.count_send(kind, size)
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.causal_send(reply.msg_id, self.node_id, self.sim.now, kind.name)
         key = (req.src, req.req_id)
         self._reply_cache[key] = (self.sim.now, reply)
         self._requests_in_progress.discard(key)
@@ -181,6 +190,13 @@ class Transport:
         if msg.kind is MessageKind.ACK:
             evt = self._ack_events.get(msg.payload)
             if evt is not None:
+                tracer = self.sim.tracer
+                if tracer is not None:
+                    # the cause is the *original* message (acks have no send
+                    # edge), whose edge points back at this very node — so
+                    # the critical-path walk charges the whole round trip to
+                    # wire and continues locally at the original send time
+                    tracer.wake(self.node_id, self.sim.now, msg_id=msg.payload)
                 evt.set()
             return None
         if msg.need_ack:
@@ -203,6 +219,9 @@ class Transport:
         if msg.is_reply:
             evt = self._pending_replies.get(msg.req_id)
             if evt is not None:
+                tracer = self.sim.tracer
+                if tracer is not None:
+                    tracer.wake(self.node_id, self.sim.now, msg_id=msg.msg_id)
                 evt.set(msg)
             return None  # stale/duplicate reply
         if msg.req_id is not None:

@@ -13,7 +13,16 @@ protocol implementations and the runtimes:
   run time into those categories (the "Breakdown" report sections);
 * :mod:`repro.obs.export` renders a trace as Chrome trace-event JSON
   (loadable in Perfetto / ``chrome://tracing``), a flat JSONL event log, or a
-  terminal flame-style summary.
+  terminal flame-style summary;
+* :mod:`repro.obs.critical_path` walks the causal send/wake edges backwards
+  from the last rank's finish to the simulated critical path — the chain of
+  segments that actually determined the run's length — with per-category
+  attribution and per-wait slack;
+* :mod:`repro.obs.metrics` is the contention-metrics registry (counters,
+  gauges, histograms keyed by view/page/lock labels) the protocol layers
+  feed, rendered as per-view contention tables;
+* :mod:`repro.obs.report` compares two bench baselines (files or git
+  revisions) and gates CI on regressions.
 
 Tracing is **opt-in and zero-overhead when off**: every emission site guards
 on ``sim.tracer is not None`` (the default), so an untraced run executes the
@@ -38,13 +47,30 @@ from repro.obs.tracer import (
     WAIT_CATEGORIES,
     EventTracer,
 )
-from repro.obs.breakdown import compute_breakdown, format_breakdown
+from repro.obs.breakdown import app_intervals, compute_breakdown, format_breakdown
+from repro.obs.critical_path import (
+    CriticalPath,
+    Segment,
+    WaitSlack,
+    compute_critical_path,
+    format_critical_path,
+)
 from repro.obs.export import (
     chrome_trace,
     flame_summary,
     validate_chrome_trace,
     write_chrome_trace,
     write_jsonl,
+)
+from repro.obs.metrics import Histogram, Metrics, format_contention
+from repro.obs.report import (
+    DEFAULT_THROUGHPUT_TOLERANCE,
+    Comparison,
+    MetricDelta,
+    compare_reports,
+    format_html,
+    format_report,
+    load_report,
 )
 
 __all__ = [
@@ -60,6 +86,7 @@ __all__ = [
     "RUN",
     "IDLE",
     "WAIT_CATEGORIES",
+    "app_intervals",
     "compute_breakdown",
     "format_breakdown",
     "chrome_trace",
@@ -67,4 +94,19 @@ __all__ = [
     "write_jsonl",
     "flame_summary",
     "validate_chrome_trace",
+    "CriticalPath",
+    "Segment",
+    "WaitSlack",
+    "compute_critical_path",
+    "format_critical_path",
+    "Histogram",
+    "Metrics",
+    "format_contention",
+    "Comparison",
+    "DEFAULT_THROUGHPUT_TOLERANCE",
+    "MetricDelta",
+    "compare_reports",
+    "load_report",
+    "format_report",
+    "format_html",
 ]

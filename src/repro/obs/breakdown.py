@@ -29,16 +29,18 @@ from typing import Iterable, Mapping
 
 from repro.obs.tracer import COMPUTE, IDLE, RUN
 
-__all__ = ["compute_breakdown", "format_breakdown"]
+__all__ = ["app_intervals", "compute_breakdown", "format_breakdown"]
 
 
-def compute_breakdown(events: Iterable[tuple]) -> dict:
-    """Attribute each process's run window to categories.
+def app_intervals(events: Iterable[tuple]) -> dict:
+    """Per-process innermost-attributed interval timeline of the run window.
 
-    Returns ``{pid: {"start": s, "end": e, "total": t, "seconds": {...},
-    "percent": {...}}}`` where ``total`` is the whole run's window (identical
-    for every pid) and both inner dicts include every category the process
-    spent time in (always at least ``compute``).
+    Returns ``{pid: {"start": s, "end": e, "pieces": [(t0, t1, cat), ...]}}``
+    where the pieces are chronological, contiguous and partition
+    ``[start, end]`` exactly (zero-length pieces are kept — a category that
+    was open for zero simulated time still shows up).  This is the one sweep
+    both the time breakdown and the critical-path walker are built on, so
+    the two always agree on what every instant of a rank's timeline was.
     """
     # per-pid app-lane span events, preserving simulator order
     per_pid: dict[int, list[tuple[str, float, str]]] = {}
@@ -46,26 +48,24 @@ def compute_breakdown(events: Iterable[tuple]) -> dict:
         if lane == "app" and (ph == "B" or ph == "E"):
             per_pid.setdefault(pid, []).append((ph, t, cat))
 
-    sweeps: dict[int, tuple[float, float, dict[str, float]]] = {}
+    out: dict[int, dict] = {}
     for pid, evs in per_pid.items():
         run_start = run_end = None
         stack: list[str] = []
-        acc: dict[str, float] = {}
+        pieces: list[tuple[float, float, str]] = []
         cur = 0.0
         for ph, t, cat in evs:
             if cat == RUN:
                 if ph == "B":
                     run_start = cur = t
                 else:
-                    top = stack[-1] if stack else COMPUTE
-                    acc[top] = acc.get(top, 0.0) + (t - cur)
+                    pieces.append((cur, t, stack[-1] if stack else COMPUTE))
                     cur = t
                     run_end = t
                 continue
             if run_start is None or run_end is not None:
                 continue  # outside the run window (nothing emits there today)
-            top = stack[-1] if stack else COMPUTE
-            acc[top] = acc.get(top, 0.0) + (t - cur)
+            pieces.append((cur, t, stack[-1] if stack else COMPUTE))
             cur = t
             if ph == "B":
                 stack.append(cat)
@@ -77,15 +77,30 @@ def compute_breakdown(events: Iterable[tuple]) -> dict:
             raise ValueError(f"pid {pid}: run span never closed (crashed run?)")
         if stack:
             raise ValueError(f"pid {pid}: unclosed spans at run end: {stack}")
-        acc.setdefault(COMPUTE, 0.0)
-        sweeps[pid] = (run_start, run_end, acc)
+        out[pid] = {"start": run_start, "end": run_end, "pieces": pieces}
+    return out
 
+
+def compute_breakdown(events: Iterable[tuple]) -> dict:
+    """Attribute each process's run window to categories.
+
+    Returns ``{pid: {"start": s, "end": e, "total": t, "seconds": {...},
+    "percent": {...}}}`` where ``total`` is the whole run's window (identical
+    for every pid) and both inner dicts include every category the process
+    spent time in (always at least ``compute``).
+    """
+    sweeps = app_intervals(events)
     if not sweeps:
         return {}
-    global_end = max(end for _start, end, _acc in sweeps.values())
+    global_end = max(info["end"] for info in sweeps.values())
     out: dict = {}
     for pid in sorted(sweeps):
-        start, end, acc = sweeps[pid]
+        info = sweeps[pid]
+        start, end = info["start"], info["end"]
+        acc: dict[str, float] = {}
+        for t0, t1, cat in info["pieces"]:
+            acc[cat] = acc.get(cat, 0.0) + (t1 - t0)
+        acc.setdefault(COMPUTE, 0.0)
         if global_end > end:
             acc[IDLE] = global_end - end
         total = global_end - start

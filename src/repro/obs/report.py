@@ -1,0 +1,313 @@
+"""Cross-run regression reporting over the committed bench baselines.
+
+``BENCH_hotpath.json`` and ``BENCH_sweep.json`` record two different kinds
+of number, and the comparison treats them differently:
+
+* **Simulated statistics are exact.**  ``table_row``s, fingerprints, event
+  counts, simulated seconds and the message mix are deterministic functions
+  of (code, seed) — any difference between two runs of the same code is a
+  real behaviour change, so they are compared for equality with *zero*
+  tolerance.  A PR that legitimately changes simulated statistics must
+  regenerate the baseline; that is the point of the gate.
+* **Host-side numbers are noisy.**  ``wall_seconds``, ``events_per_sec``
+  and ``peak_rss_kb`` vary run-to-run and host-to-host, so throughput is
+  gated with a generous relative tolerance (default 25% — CI runners are
+  shared; the gate exists to catch catastrophic slowdowns, not jitter) and
+  RSS/wall are reported but never fail the check.
+
+Inputs are file paths or ``git:REV[:path]`` specs (the latter read the file
+out of a git revision, default path ``BENCH_hotpath.json``), so
+``python -m repro report git:HEAD~1 BENCH_hotpath.json`` compares a fresh
+run against the last commit's baseline.  ``--check`` exits non-zero iff a
+regression was found; ``--html`` additionally writes a standalone
+dashboard (inline CSS, no external assets).
+"""
+
+from __future__ import annotations
+
+import html as _html
+import json
+import subprocess
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+__all__ = [
+    "MetricDelta",
+    "Comparison",
+    "load_report",
+    "compare_reports",
+    "format_report",
+    "format_html",
+]
+
+DEFAULT_THROUGHPUT_TOLERANCE = 0.25  # relative; see module docstring
+
+# statuses
+OK = "ok"
+CHANGED = "changed"  # differs, but not a gated failure (noise / additions)
+IMPROVED = "improved"
+REGRESSED = "regressed"  # fails --check
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    key: str  # protocol label / "app/protocol/variant/nprocs/seed" / "(total)"
+    metric: str
+    old: Any
+    new: Any
+    status: str
+    note: str = ""
+
+
+@dataclass
+class Comparison:
+    kind: str  # "hotpath" or "sweep"
+    base_label: str
+    new_label: str
+    deltas: list[MetricDelta] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[MetricDelta]:
+        return [d for d in self.deltas if d.status == REGRESSED]
+
+    @property
+    def identical(self) -> bool:
+        return all(d.status == OK for d in self.deltas)
+
+
+# -- loading -----------------------------------------------------------------------
+
+
+def load_report(spec: str) -> dict:
+    """Load a bench JSON from a path or a ``git:REV[:path]`` spec."""
+    if spec.startswith("git:"):
+        rest = spec[4:]
+        rev, _, path = rest.partition(":")
+        path = path or "BENCH_hotpath.json"
+        blob = subprocess.run(
+            ["git", "show", f"{rev}:{path}"],
+            capture_output=True,
+            check=True,
+        ).stdout
+        return json.loads(blob)
+    with open(spec) as fh:
+        return json.load(fh)
+
+
+def _report_kind(doc: dict) -> str:
+    bench = doc.get("benchmark")
+    if bench == "sweep":
+        return "sweep"
+    if isinstance(doc.get("protocols"), dict):
+        return "hotpath"
+    raise ValueError(f"unrecognised bench report (benchmark={bench!r})")
+
+
+# -- comparison --------------------------------------------------------------------
+
+
+def _ratio_delta(
+    key: str,
+    metric: str,
+    old: Optional[float],
+    new: Optional[float],
+    tolerance: Optional[float],
+    higher_is_better: bool = True,
+) -> MetricDelta:
+    """Noisy-metric comparison; ``tolerance=None`` means report-only."""
+    if not old or new is None:
+        return MetricDelta(key, metric, old, new, CHANGED if old != new else OK)
+    rel = (new - old) / old
+    if not higher_is_better:
+        rel = -rel
+    if tolerance is not None and rel < -tolerance:
+        return MetricDelta(
+            key, metric, old, new, REGRESSED, f"{rel * 100:+.1f}% (tol ±{tolerance * 100:.0f}%)"
+        )
+    if abs(rel) < 1e-12:
+        return MetricDelta(key, metric, old, new, OK)
+    status = IMPROVED if rel > 0 else CHANGED
+    return MetricDelta(key, metric, old, new, status, f"{rel * 100:+.1f}%")
+
+
+def _exact_delta(key: str, metric: str, old: Any, new: Any) -> MetricDelta:
+    if old == new:
+        return MetricDelta(key, metric, old, new, OK)
+    note = "simulated statistics changed — regenerate the baseline if intended"
+    if isinstance(old, dict) and isinstance(new, dict):
+        cols = sorted(
+            set(old) | set(new), key=lambda c: (old.get(c) == new.get(c), str(c))
+        )
+        diff = [c for c in cols if old.get(c) != new.get(c)]
+        note = f"differs in: {', '.join(map(str, diff[:6]))}" + (
+            " …" if len(diff) > 6 else ""
+        )
+    return MetricDelta(key, metric, old, new, REGRESSED, note)
+
+
+def _compare_entry(
+    key: str,
+    old: dict,
+    new: dict,
+    tolerance: float,
+    exact_fields: tuple,
+    deltas: list,
+) -> None:
+    for f in exact_fields:
+        if f in old or f in new:
+            if f == "message_mix" and (f not in old or f not in new):
+                # schema evolution: only gate when both sides recorded it
+                deltas.append(
+                    MetricDelta(key, f, old.get(f) is not None, new.get(f) is not None, CHANGED, "recorded on one side only")
+                )
+                continue
+            deltas.append(_exact_delta(key, f, old.get(f), new.get(f)))
+    deltas.append(
+        _ratio_delta(key, "events_per_sec", old.get("events_per_sec"), new.get("events_per_sec"), tolerance)
+    )
+    deltas.append(
+        _ratio_delta(key, "wall_seconds", old.get("wall_seconds"), new.get("wall_seconds"), None, higher_is_better=False)
+    )
+    if "peak_rss_kb" in old or "peak_rss_kb" in new:
+        deltas.append(
+            _ratio_delta(key, "peak_rss_kb", old.get("peak_rss_kb"), new.get("peak_rss_kb"), None, higher_is_better=False)
+        )
+
+
+def compare_reports(
+    base: dict,
+    new: dict,
+    tolerance: float = DEFAULT_THROUGHPUT_TOLERANCE,
+    base_label: str = "base",
+    new_label: str = "new",
+) -> Comparison:
+    """Compare two bench reports of the same kind.
+
+    Exact (simulated) fields gate at zero tolerance; throughput gates at
+    ``tolerance``; wall/RSS are report-only.  Cells present only in the
+    baseline are regressions (coverage loss); cells only in the new report
+    are additions.
+    """
+    kind = _report_kind(base)
+    if _report_kind(new) != kind:
+        raise ValueError(
+            f"cannot compare a {kind} report against a {_report_kind(new)} report"
+        )
+    cmp = Comparison(kind=kind, base_label=base_label, new_label=new_label)
+    deltas = cmp.deltas
+
+    if kind == "hotpath":
+        exact = ("events", "sim_time_seconds", "verified", "table_row", "message_mix")
+        old_entries = base.get("protocols", {})
+        new_entries = new.get("protocols", {})
+        for key in old_entries:
+            if key not in new_entries:
+                deltas.append(MetricDelta(key, "entry", "present", "missing", REGRESSED))
+                continue
+            _compare_entry(key, old_entries[key], new_entries[key], tolerance, exact, deltas)
+        for key in new_entries:
+            if key not in old_entries:
+                deltas.append(MetricDelta(key, "entry", "missing", "present", CHANGED))
+        deltas.append(
+            _ratio_delta(
+                "(total)", "vc_d_events_per_sec",
+                base.get("vc_d_events_per_sec"), new.get("vc_d_events_per_sec"),
+                tolerance,
+            )
+        )
+    else:
+        exact = ("events", "sim_time_seconds", "verified", "fingerprint", "table_row")
+        def cell_key(c: dict) -> str:
+            return "/".join(
+                str(c.get(k)) for k in ("app", "protocol", "variant", "nprocs", "seed")
+            )
+
+        old_cells = {cell_key(c): c for c in base.get("cells", [])}
+        new_cells = {cell_key(c): c for c in new.get("cells", [])}
+        for key, old_cell in old_cells.items():
+            if key not in new_cells:
+                deltas.append(MetricDelta(key, "cell", "present", "missing", REGRESSED))
+                continue
+            _compare_entry(key, old_cell, new_cells[key], tolerance, exact, deltas)
+        for key in new_cells:
+            if key not in old_cells:
+                deltas.append(MetricDelta(key, "cell", "missing", "present", CHANGED))
+    return cmp
+
+
+# -- rendering ---------------------------------------------------------------------
+
+
+def _short(v: Any, width: int = 28) -> str:
+    s = json.dumps(v, sort_keys=True) if isinstance(v, (dict, list)) else str(v)
+    return s if len(s) <= width else s[: width - 1] + "…"
+
+
+def format_report(cmp: Comparison, verbose: bool = False) -> str:
+    """Terminal rendering: regressions first, then changes, then a verdict."""
+    lines = [
+        f"Regression report ({cmp.kind}): {cmp.base_label} -> {cmp.new_label}",
+        "=" * 64,
+    ]
+    interesting = [d for d in cmp.deltas if d.status != OK]
+    order = {REGRESSED: 0, CHANGED: 1, IMPROVED: 2}
+    interesting.sort(key=lambda d: (order.get(d.status, 3), d.key, d.metric))
+    shown = interesting if verbose else interesting[:40]
+    for d in shown:
+        mark = {REGRESSED: "FAIL", IMPROVED: "  up", CHANGED: "  ~ "}[d.status]
+        lines.append(
+            f"{mark}  {d.key:<28} {d.metric:<20} "
+            f"{_short(d.old):>28} -> {_short(d.new):<28} {d.note}"
+        )
+    if len(interesting) > len(shown):
+        lines.append(f"… {len(interesting) - len(shown)} more (use --verbose)")
+    ok = sum(1 for d in cmp.deltas if d.status == OK)
+    lines.append("-" * 64)
+    lines.append(
+        f"{len(cmp.regressions)} regression(s), "
+        f"{sum(1 for d in cmp.deltas if d.status == CHANGED)} change(s), "
+        f"{sum(1 for d in cmp.deltas if d.status == IMPROVED)} improvement(s), "
+        f"{ok} identical metric(s)"
+    )
+    lines.append("verdict: " + ("REGRESSED" if cmp.regressions else ("identical" if cmp.identical else "ok")))
+    return "\n".join(lines)
+
+
+_HTML_STYLE = """
+body { font: 14px/1.45 system-ui, sans-serif; margin: 2rem auto; max-width: 72rem; color: #1a1a2e; }
+h1 { font-size: 1.3rem; } .verdict { font-weight: 700; padding: .4rem .8rem; border-radius: .4rem; display: inline-block; }
+.verdict.fail { background: #fde8e8; color: #9b1c1c; } .verdict.pass { background: #e6f6ec; color: #14632e; }
+table { border-collapse: collapse; width: 100%; margin-top: 1rem; }
+th, td { text-align: left; padding: .35rem .6rem; border-bottom: 1px solid #e3e3ef; font-variant-numeric: tabular-nums; }
+tr.regressed td { background: #fdf0f0; } tr.improved td { background: #f0faf3; }
+td.status { font-weight: 600; } tr.regressed td.status { color: #9b1c1c; } tr.improved td.status { color: #14632e; }
+code { background: #f4f4fb; padding: .05rem .3rem; border-radius: .25rem; }
+"""
+
+
+def format_html(cmp: Comparison) -> str:
+    """Standalone single-file HTML dashboard for the comparison."""
+    esc = _html.escape
+    rows = []
+    order = {REGRESSED: 0, CHANGED: 1, IMPROVED: 2, OK: 3}
+    for d in sorted(cmp.deltas, key=lambda d: (order.get(d.status, 4), d.key, d.metric)):
+        rows.append(
+            f"<tr class='{esc(d.status)}'>"
+            f"<td class='status'>{esc(d.status)}</td>"
+            f"<td><code>{esc(d.key)}</code></td><td>{esc(d.metric)}</td>"
+            f"<td>{esc(_short(d.old, 60))}</td><td>{esc(_short(d.new, 60))}</td>"
+            f"<td>{esc(d.note)}</td></tr>"
+        )
+    verdict = "REGRESSED" if cmp.regressions else ("identical" if cmp.identical else "ok")
+    cls = "fail" if cmp.regressions else "pass"
+    return (
+        "<!doctype html><html><head><meta charset='utf-8'>"
+        f"<title>repro regression report</title><style>{_HTML_STYLE}</style></head><body>"
+        f"<h1>Regression report ({esc(cmp.kind)}): "
+        f"<code>{esc(cmp.base_label)}</code> &rarr; <code>{esc(cmp.new_label)}</code></h1>"
+        f"<p><span class='verdict {cls}'>{verdict}</span> — "
+        f"{len(cmp.regressions)} regression(s) over {len(cmp.deltas)} compared metric(s)</p>"
+        "<table><thead><tr><th>status</th><th>key</th><th>metric</th>"
+        f"<th>{esc(cmp.base_label)}</th><th>{esc(cmp.new_label)}</th><th>note</th></tr></thead>"
+        f"<tbody>{''.join(rows)}</tbody></table></body></html>\n"
+    )

@@ -27,12 +27,34 @@ Events are plain tuples (allocation-light, trivially picklable)::
 ``t`` is simulated seconds.  ``pid`` is the node id (``-1`` for
 engine-global events).  ``lane`` names the execution context within the node
 — ``"app"`` for the application process, ``"nic-tx"``/``"nic-rx"`` for the
-NIC sides, ``"fetch-*"`` for concurrent fault fetchers — and maps to a
-Perfetto thread.  Spans on one lane are properly nested (each lane is a
-sequential context), which is what makes both the Chrome ``B``/``E``
-encoding and the stack-based time attribution in
-:mod:`repro.obs.breakdown` exact.  ``args`` is an optional dict of
-JSON-serialisable details.
+NIC sides, ``"dispatch"`` for the node's serial message-handler daemon,
+``"fetch-*"`` for concurrent fault fetchers — and maps to a Perfetto thread.
+Spans on one lane are properly nested (each lane is a sequential context),
+which is what makes both the Chrome ``B``/``E`` encoding and the stack-based
+time attribution in :mod:`repro.obs.breakdown` exact.  ``args`` is an
+optional dict of JSON-serialisable details.
+
+Causal edges
+------------
+
+Alongside the flat event list the tracer records the **causal graph** the
+critical-path analysis (:mod:`repro.obs.critical_path`) walks:
+
+* ``sends[msg_id] = (src, t, kind)`` — one entry per *logical* message send
+  (recorded at the transport's three entry points; retransmissions reuse the
+  original edge, so wire segments naturally absorb retransmission delay);
+* ``wakes = [(pid, t, cause_msg_id), ...]`` — a blocked process on ``pid``
+  was resumed at ``t`` because message ``cause_msg_id`` was delivered.
+
+Wake sites inside protocol message handlers call :meth:`wake` without an
+explicit cause: the dispatcher brackets every handler with
+:meth:`begin_dispatch`/:meth:`end_dispatch`, so the tracer knows which
+message a node is currently handling and attributes the wake to it.  A wake
+with no known cause (a purely local ``Event.set``) records nothing — the
+walker then stays on the same rank, which is the right causal answer.
+
+Causal edges live *outside* ``events`` so every exporter and the
+``validate_chrome_trace`` schema are unchanged by their presence.
 """
 
 from __future__ import annotations
@@ -86,10 +108,15 @@ class EventTracer:
     this and attaches the computed breakdown to the result).
     """
 
-    __slots__ = ("events",)
+    __slots__ = ("events", "sends", "wakes", "_dispatch", "_mid")
 
     def __init__(self) -> None:
         self.events: list[tuple] = []
+        # causal edges (see module docstring)
+        self.sends: dict[int, tuple[int, float, str]] = {}
+        self.wakes: list[tuple[int, float, int]] = []
+        self._dispatch: dict[int, int] = {}  # pid -> msg_id being handled
+        self._mid: dict[int, int] = {}  # raw msg_id -> per-run dense id
 
     # -- recording (called from instrumentation sites) ----------------------------
 
@@ -124,6 +151,50 @@ class EventTracer:
     def counter(self, pid: int, name: str, t: float, value: Any) -> None:
         """Record a counter sample (rendered as a track in Perfetto)."""
         self.events.append(("C", t, pid, "counters", None, name, value))
+
+    # -- causal edges (critical-path analysis) ------------------------------------
+
+    def norm(self, msg_id: int) -> int:
+        """Intern a raw message id into this run's dense id namespace.
+
+        The global :class:`~repro.net.message.Message` counter never resets,
+        so raw ids differ between two identical runs in one process; interned
+        ids are assigned in first-sight order (deterministic), which keeps
+        traces and causal edges run-invariant.  ``wire_copy`` preserves the
+        raw id, so every copy of a logical message interns identically.
+        """
+        m = self._mid.get(msg_id)
+        if m is None:
+            m = self._mid[msg_id] = len(self._mid)
+        return m
+
+    def causal_send(self, msg_id: int, src: int, t: float, kind: str) -> None:
+        """Record the logical send of message ``msg_id`` (once per message)."""
+        self.sends[self.norm(msg_id)] = (src, t, kind)
+
+    def wake(self, pid: int, t: float, msg_id: Optional[int] = None) -> None:
+        """A blocked process on ``pid`` is being resumed at ``t``.
+
+        ``msg_id`` names the causing message explicitly (transport reply/ack
+        matching); without it, the message the node's dispatcher is currently
+        handling is the cause.  Purely local wake-ups record nothing.
+        """
+        cause = self.norm(msg_id) if msg_id is not None else self._dispatch.get(pid)
+        if cause is not None:
+            self.wakes.append((pid, t, cause))
+
+    def begin_dispatch(self, pid: int, msg_id: int, kind: str, src: int, t: float) -> None:
+        """The node's dispatcher starts running the handler for ``msg_id``."""
+        mid = self.norm(msg_id)
+        self._dispatch[pid] = mid
+        self.events.append(
+            ("B", t, pid, "dispatch", "handler", kind, {"msg": mid, "src": src})
+        )
+
+    def end_dispatch(self, pid: int, t: float) -> None:
+        """The handler the dispatcher was running finished."""
+        self._dispatch.pop(pid, None)
+        self.events.append(("E", t, pid, "dispatch", "handler", None, None))
 
     # -- convenience --------------------------------------------------------------
 

@@ -320,6 +320,9 @@ class BaseDsmProtocol:
             collected.sort(key=lambda item: item[0])
             ordered = [diff for _, diff in collected]
         nbytes = sum(d.changed_bytes for d in ordered)
+        metrics = self.node.sim.metrics
+        if metrics is not None:
+            metrics.inc("diff_bytes", nbytes, page=pid)
         if nbytes:
             yield from self.node.copy_cost(nbytes)
         self.mm.apply_diffs(pid, ordered)
@@ -327,6 +330,9 @@ class BaseDsmProtocol:
     def _request_diffs(self, writer: int, pid: int, idxs: list[int]) -> Generator:
         """RPC one writer for its diffs of ``pid`` at intervals ``idxs``."""
         self.stats.count_diff_request()
+        metrics = self.node.sim.metrics
+        if metrics is not None:
+            metrics.inc("diff_requests", 1, page=pid, writer=writer)
         reply = yield from self.node.request(
             writer,
             MessageKind.DIFF_REQUEST,

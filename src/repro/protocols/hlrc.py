@@ -188,5 +188,11 @@ class HlrcProtocol(LrcProtocol):
             self.node.sim.spawn(
                 self._handle_page_request(msg), name=f"hlrc-retry-{self.node.id}-{pid}"
             )
+        tracer = self.node.sim.tracer
         for evt in self._home_events.pop(pid, []):
+            if tracer is not None:
+                # cause resolves via dispatch context: _retry_waiting runs
+                # from the DIFF_PUSH / MERGE_VIEWS handler that made the
+                # home copy current
+                tracer.wake(self.node.id, self.node.sim.now)
             evt.set()

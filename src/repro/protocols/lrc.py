@@ -68,6 +68,7 @@ class LrcProtocol(BaseDsmProtocol):
         self._grant_events: dict[int, Event] = {}
         # barrier manager state (node 0 only)
         self._barrier_arrivals: list[dict] = []
+        self._barrier_arrival_t: list[float] = []  # metrics-only skew samples
         self._barrier_events: dict[int, Event] = {}
         self._barrier_gen = 0
         node.register_handler(MessageKind.LOCK_ACQUIRE, self._handle_lock_acquire)
@@ -168,6 +169,11 @@ class LrcProtocol(BaseDsmProtocol):
         if tracer is not None:
             tracer.end(self.node.id, "app", "acquire-wait", self.node.sim.now)
         self.stats.add_acquire_time(self.node.sim.now - t0)
+        metrics = self.node.sim.metrics
+        if metrics is not None:
+            metrics.observe(
+                "acquire_wait_seconds", self.node.sim.now - t0, lock=lock_id
+            )
 
     def release_lock(self, lock_id: int) -> Generator:
         """Release a global lock (``yield from``)."""
@@ -205,6 +211,9 @@ class LrcProtocol(BaseDsmProtocol):
             # local (manager's own) waiter
             state.held_by = waiter
             evt = self._grant_events.pop(lock_id)
+            tracer = self.node.sim.tracer
+            if tracer is not None:
+                tracer.wake(self.node.id, self.node.sim.now)
             evt.set({"notices": self._unseen_for(self.vc.copy()), "vc": self.vc.copy()})
             return
         acq_vc = waiter.payload["vc"]
@@ -245,6 +254,9 @@ class LrcProtocol(BaseDsmProtocol):
             HANDLER_BASE_COST + NOTICE_PROC_COST * len(msg.payload["notices"])
         )
         evt = self._grant_events.pop(msg.payload["lock"])
+        tracer = self.node.sim.tracer
+        if tracer is not None:
+            tracer.wake(self.node.id, self.node.sim.now)
         evt.set(msg.payload)
 
     # -- consistency-maintaining barrier --------------------------------------------------
@@ -283,6 +295,11 @@ class LrcProtocol(BaseDsmProtocol):
         if tracer is not None:
             tracer.end(self.node.id, "app", "barrier-wait", self.node.sim.now)
         self.stats.add_barrier_time(self.node.sim.now - t0)
+        metrics = self.node.sim.metrics
+        if metrics is not None:
+            metrics.observe(
+                "barrier_wait_seconds", self.node.sim.now - t0, node=self.node.id
+            )
 
     def _handle_barrier_arrive(self, msg: Message) -> Generator:
         assert self.node.id == self.BARRIER_MANAGER
@@ -296,9 +313,17 @@ class LrcProtocol(BaseDsmProtocol):
         for notice in payload["notices"]:
             self._record_notice(notice)
         self._barrier_arrivals.append(payload)
+        metrics = self.node.sim.metrics
+        if metrics is not None:
+            # record-only arrival timestamps for the per-epoch skew metric
+            self._barrier_arrival_t.append(self.node.sim.now)
         if len(self._barrier_arrivals) == self.nprocs:
             arrivals, self._barrier_arrivals = self._barrier_arrivals, []
             self.stats.count_barrier_episode()
+            if metrics is not None:
+                ts, self._barrier_arrival_t = self._barrier_arrival_t, []
+                metrics.observe("barrier_skew_seconds", max(ts) - min(ts))
+                metrics.inc("barrier_episodes")
             merged_vc = self.vc.copy()
             for arrival in arrivals:
                 for i, x in enumerate(arrival["vc"]):
@@ -316,6 +341,9 @@ class LrcProtocol(BaseDsmProtocol):
                 }
                 if arrival["node"] == self.node.id:
                     evt = self._barrier_events.pop(arrival["gen"])
+                    tracer = self.node.sim.tracer
+                    if tracer is not None:
+                        tracer.wake(self.node.id, self.node.sim.now)
                     evt.set(release)
                 else:
                     size = (
@@ -333,4 +361,7 @@ class LrcProtocol(BaseDsmProtocol):
     def _handle_barrier_release(self, msg: Message) -> Generator:
         yield from self.node.compute(HANDLER_BASE_COST)
         evt = self._barrier_events.pop(msg.payload["gen"])
+        tracer = self.node.sim.tracer
+        if tracer is not None:
+            tracer.wake(self.node.id, self.node.sim.now)
         evt.set(msg.payload)

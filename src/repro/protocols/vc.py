@@ -76,6 +76,7 @@ class VcProtocol(BaseDsmProtocol):
         self.held_r: list[int] = []
         # barrier client/manager state (sync-only barrier at node 0)
         self._barrier_arrivals: list[tuple[int, int]] = []  # (node, gen)
+        self._barrier_arrival_t: list[float] = []  # metrics-only skew samples
         self._barrier_events: dict[int, Event] = {}
         self._barrier_gen = 0
         node.register_handler(MessageKind.VIEW_ACQUIRE, self._handle_view_acquire)
@@ -162,6 +163,14 @@ class VcProtocol(BaseDsmProtocol):
         if tracer is not None:
             tracer.end(self.node.id, "app", "acquire-wait", self.node.sim.now)
         self.stats.add_acquire_time(self.node.sim.now - t0)
+        metrics = self.node.sim.metrics
+        if metrics is not None:
+            metrics.observe(
+                "acquire_wait_seconds",
+                self.node.sim.now - t0,
+                view=view_id,
+                mode=mode,
+            )
         self.system.trace(
             kind="acquire",
             node=self.node.id,
@@ -277,6 +286,9 @@ class VcProtocol(BaseDsmProtocol):
         )
         if node_id == self.node.id:
             evt = self._grant_events.pop(state.view_id)
+            tracer = self.node.sim.tracer
+            if tracer is not None:
+                tracer.wake(self.node.id, self.node.sim.now)
             evt.set(payload)
         else:
             kind = MessageKind.VIEW_GRANT if mode == "w" else MessageKind.RVIEW_GRANT
@@ -348,6 +360,9 @@ class VcProtocol(BaseDsmProtocol):
     def _handle_view_grant(self, msg: Message) -> Generator:
         yield from self.node.compute(HANDLER_BASE_COST)
         evt = self._grant_events.pop(msg.payload[0])
+        tracer = self.node.sim.tracer
+        if tracer is not None:
+            tracer.wake(self.node.id, self.node.sim.now)
         evt.set(msg.payload)
 
     def _handle_view_release(self, msg: Message) -> Generator:
@@ -385,6 +400,11 @@ class VcProtocol(BaseDsmProtocol):
         if tracer is not None:
             tracer.end(self.node.id, "app", "barrier-wait", self.node.sim.now)
         self.stats.add_barrier_time(self.node.sim.now - t0)
+        metrics = self.node.sim.metrics
+        if metrics is not None:
+            metrics.observe(
+                "barrier_wait_seconds", self.node.sim.now - t0, node=self.node.id
+            )
 
     def _handle_barrier_arrive(self, msg: Message) -> Generator:
         assert self.node.id == self.BARRIER_MANAGER
@@ -393,11 +413,22 @@ class VcProtocol(BaseDsmProtocol):
 
     def _manager_note_arrival(self, payload: tuple) -> None:
         self._barrier_arrivals.append(payload)
+        metrics = self.node.sim.metrics
+        if metrics is not None:
+            # record-only arrival timestamps for the per-epoch skew metric
+            self._barrier_arrival_t.append(self.node.sim.now)
         if len(self._barrier_arrivals) == self.nprocs:
             arrivals, self._barrier_arrivals = self._barrier_arrivals, []
             self.stats.count_barrier_episode()
+            if metrics is not None:
+                ts, self._barrier_arrival_t = self._barrier_arrival_t, []
+                metrics.observe("barrier_skew_seconds", max(ts) - min(ts))
+                metrics.inc("barrier_episodes")
+            tracer = self.node.sim.tracer
             for node_id, gen in arrivals:
                 if node_id == self.node.id:
+                    if tracer is not None:
+                        tracer.wake(self.node.id, self.node.sim.now)
                     self._barrier_events.pop(gen).set(None)
                 else:
                     self.node.sim.spawn(
@@ -412,4 +443,7 @@ class VcProtocol(BaseDsmProtocol):
 
     def _handle_barrier_release(self, msg: Message) -> Generator:
         yield from self.node.compute(HANDLER_BASE_COST)
+        tracer = self.node.sim.tracer
+        if tracer is not None:
+            tracer.wake(self.node.id, self.node.sim.now)
         self._barrier_events.pop(msg.payload).set(None)

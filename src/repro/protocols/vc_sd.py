@@ -186,6 +186,9 @@ class VcSdProtocol(VcProtocol):
                 apply_diff(copy.data, diff)
                 nbytes += diff.changed_bytes
             copy.state = PageState.RO
+        metrics = self.node.sim.metrics
+        if metrics is not None and nbytes:
+            metrics.inc("piggyback_bytes", nbytes, view=view_id)
         if nbytes:
             yield from self.node.copy_cost(nbytes)
         return None

@@ -278,6 +278,9 @@ class Simulator:
         # zero-overhead fast path — the run loop itself is never instrumented
         # and every other site guards on this attribute before doing any work
         self.tracer = None
+        # optional repro.obs.Metrics registry, same contract as the tracer:
+        # None means zero overhead, installed means record-only
+        self.metrics = None
         self._heap: list[tuple[float, int, Callable, tuple]] = []
         self._timers: deque[tuple[float, int, Callable, tuple]] = deque()
         self._ready: deque[tuple[Callable, tuple]] = deque()

@@ -31,6 +31,18 @@ def test_hotpath_report_shape(tmp_path):
         assert row["events_per_sec"] > 0
         assert row["sim_time_seconds"] > 0
         assert "Num. Msg" in row["table_row"]
+        mix = row["message_mix"]
+        assert mix["num_msg"] == row["table_row"]["Num. Msg"]
+        assert mix["by_kind"], label
+        for kind, rec in mix["by_kind"].items():
+            assert "." not in kind  # normalised: DIFF_REQUEST, not MessageKind.…
+            assert rec["count"] > 0 and rec["bytes"] >= 0
+            assert 0 < rec["pct_msgs"] <= 100
+            assert 0 <= rec["pct_bytes"] <= 100
+        # per-kind counts decompose the total message count exactly
+        assert sum(r["count"] for r in mix["by_kind"].values()) == mix["num_msg"]
+        counts = [r["count"] for r in mix["by_kind"].values()]
+        assert counts == sorted(counts, reverse=True)  # top contributor first
     assert report["events"] == sum(r["events"] for r in report["protocols"].values())
     assert report["events_per_sec"] > 0
     # the named regression metric mirrors the VC_d entry

@@ -42,6 +42,24 @@ def test_untraced_result_has_no_breakdown():
     assert result.breakdown is None
 
 
+def test_tracer_and_metrics_together_stay_bit_identical():
+    from repro.obs import Metrics
+
+    base = run_app(APPS["is"], "lrc_d", 4)
+    tracer, metrics = EventTracer(), Metrics()
+    observed = run_app(APPS["is"], "lrc_d", 4, tracer=tracer, metrics=metrics)
+    assert observed.events == base.events
+    assert observed.time == base.time
+    assert observed.table_row() == base.table_row()
+    assert tracer.events and metrics.histograms
+
+
+def test_untraced_run_records_no_causal_edges():
+    sentinel = EventTracer()
+    run_app(APPS["sor"], "vc_sd", 2)
+    assert not sentinel.sends and not sentinel.wakes
+
+
 def test_view_tracer_and_event_tracer_compose():
     from repro.tools.tracer import ViewTracer
 

@@ -71,6 +71,31 @@ def test_trace_command_jsonl_output(capsys, tmp_path):
     assert lines and all(json.loads(line)["ph"] in "BEiC" for line in lines)
 
 
+def test_trace_command_critical_path_and_metrics(capsys, tmp_path):
+    import json
+
+    mpath = tmp_path / "metrics.json"
+    assert main([
+        "trace", "sor", "--protocol", "vc_sd", "--nprocs", "2",
+        "--critical-path", "--metrics-out", str(mpath),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "Critical path" in out
+    assert "Contention metrics" in out
+    assert "wrote metrics snapshot" in out
+    snap = json.loads(mpath.read_text())
+    assert snap["histograms"]
+
+
+def test_run_with_metrics_flag(capsys):
+    assert main([
+        "run", "is", "--protocol", "vc_d", "--nprocs", "2", "--metrics",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "Contention metrics" in out
+    assert "acquire_wait_seconds" in out
+
+
 def test_run_with_trace_flag(capsys):
     assert main([
         "run", "sor", "--protocol", "vc_sd", "--nprocs", "2", "--trace",
