@@ -52,6 +52,26 @@ def chunk_bounds(total: int, nprocs: int, rank: int) -> tuple[int, int]:
     return lo, hi
 
 
+def _run_or_abort(cluster, run: Callable[[], Any]) -> Any:
+    """Run the simulation; escalate expected fault outcomes to RunAborted.
+
+    A :class:`repro.net.transport.RequestError` (retry budget exhausted) or
+    :class:`repro.faults.NodeCrashed` (fail-stop episode) anywhere in the
+    exception's cause chain becomes a structured
+    :class:`repro.faults.RunFailure`; everything else re-raises untouched.
+    """
+    from repro.faults.failure import NodeCrashed, RunAborted, describe_failure
+    from repro.sim import SimError
+
+    try:
+        return run()
+    except (SimError, NodeCrashed) as exc:
+        failure = describe_failure(exc, cluster)
+        if failure is None:
+            raise
+        raise RunAborted(failure) from exc
+
+
 @dataclass
 class AppResult:
     """Outcome of one application run."""
@@ -84,6 +104,7 @@ def run_app(
     tracer: Any = None,
     view_tracer: Any = None,
     metrics: Any = None,
+    faults: Any = None,
 ) -> AppResult:
     """Build, run and (optionally) verify one application.
 
@@ -97,32 +118,45 @@ def run_app(
     :class:`repro.tools.tracer.ViewTracer`) records view-level sync events
     (DSM protocols only); ``metrics`` (a :class:`repro.obs.Metrics`) collects
     per-view/per-page contention metrics and is handed back on
-    ``AppResult.metrics``.
+    ``AppResult.metrics``; ``faults`` (a :class:`repro.faults.FaultPlan` or
+    pre-built :class:`~repro.faults.FaultInjector`) injects scripted network
+    and node faults.
+
+    An exhausted retransmission budget or a fail-stop crash episode raises
+    :class:`repro.faults.RunAborted` carrying a structured
+    :class:`~repro.faults.RunFailure`; any other exception propagates
+    unchanged (it is a bug, not a fault outcome).
     """
     config = config or app_module.default_config()
     if protocol == "mpi":
         if view_tracer is not None:
             raise ValueError("--trace-views needs a DSM protocol, not mpi")
         system = MpiSystem(nprocs, netcfg=netcfg, nodecfg=nodecfg)
+        cluster = system.cluster
         if tracer is not None:
-            system.cluster.sim.tracer = tracer
+            cluster.sim.tracer = tracer
         if metrics is not None:
-            system.cluster.sim.metrics = metrics
-        output = app_module.run_mpi(system, config)
+            cluster.sim.metrics = metrics
+        if faults is not None:
+            cluster.install_faults(faults)
+        output = _run_or_abort(cluster, lambda: app_module.run_mpi(system, config))
         result = AppResult(
             protocol, nprocs, output, system.stats, system.time,
-            events=system.cluster.sim.events_processed,
+            events=cluster.sim.events_processed,
         )
     else:
         system = make_system(nprocs, protocol, netcfg=netcfg, nodecfg=nodecfg)
+        cluster = system.dsm.cluster
         if tracer is not None:
             system.sim.tracer = tracer
         if metrics is not None:
             system.sim.metrics = metrics
         if view_tracer is not None:
             system.dsm.tracer = view_tracer
+        if faults is not None:
+            cluster.install_faults(faults)
         body = app_module.build(system, config, variant)
-        system.run_program(body)
+        _run_or_abort(cluster, lambda: system.run_program(body))
         output = app_module.extract(system, config)
         result = AppResult(
             protocol, nprocs, output, system.stats, system.stats.time,

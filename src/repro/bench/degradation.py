@@ -1,0 +1,166 @@
+"""Fault-degradation grid: slowdown vs loss rate, per protocol.
+
+The paper's headline robustness asymmetry — LRC_d's barrier congestion costs
+~1 s retransmission stalls while VC_sd's distributed barrier keeps Rexmit
+near zero — is a *graceful degradation* story.  This bench charts it: each
+protocol runs the same application under a sweep of scripted uniform-loss
+fault plans (``repro.faults``), and the grid records how simulated time and
+Rexmit grow with the loss rate, normalised to the protocol's own zero-loss
+baseline.
+
+Every grid cell still **verifies against the sequential reference**: faults
+change timing and Rexmit, never answers (the loss-invariance property the
+chaos tests pin).  A cell hostile enough to exhaust the retry budget is
+reported as a structured failure row instead of killing the sweep.
+
+CLI: ``python -m repro sweep --faults`` (see docs/robustness.md); the
+report is written to ``BENCH_faults.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Optional, Sequence
+
+from repro.apps import APPS
+from repro.apps.common import run_app
+from repro.faults import Episode, FaultInjector, FaultPlan, RunAborted
+
+__all__ = [
+    "DEFAULT_FAULTS_OUTPUT",
+    "DEFAULT_LOSS_RATES",
+    "run_degradation_grid",
+    "format_degradation_grid",
+    "write_degradation_report",
+]
+
+DEFAULT_FAULTS_OUTPUT = "BENCH_faults.json"
+DEFAULT_LOSS_RATES = (0.0, 0.002, 0.005, 0.01, 0.02)
+DEFAULT_PROTOCOLS = ("lrc_d", "vc_d", "vc_sd")
+
+
+def _grid_cell(
+    app: str,
+    protocol: str,
+    nprocs: int,
+    loss_rate: float,
+    seed: int,
+    base_plan: Optional[FaultPlan],
+    verify: bool,
+) -> dict:
+    episodes = base_plan.episodes if base_plan is not None else ()
+    if loss_rate > 0.0:
+        episodes = episodes + (Episode(kind="loss", drop_prob=loss_rate),)
+    plan = FaultPlan(episodes, seed=seed)
+    injector = FaultInjector(plan)
+    cell = {
+        "app": app,
+        "protocol": protocol,
+        "nprocs": nprocs,
+        "loss_rate": loss_rate,
+        "seed": seed,
+    }
+    try:
+        result = run_app(
+            APPS[app], protocol, nprocs, verify=verify, faults=injector
+        )
+    except RunAborted as exc:
+        # hostile enough to exhaust the retry budget: report, don't crash
+        cell.update(
+            {
+                "failed": True,
+                "failure": exc.failure.to_json(),
+            }
+        )
+        return cell
+    net = result.stats.net if hasattr(result.stats, "net") else result.stats
+    cell.update(
+        {
+            "failed": False,
+            "time": round(result.time, 6),
+            "rexmit": net.rexmit,
+            "drops": net.drops,
+            "drops_by_cause": dict(sorted(net.drops_by_cause.items())),
+            "num_msg": net.num_msg,
+            "injected": dict(injector.injected),
+            "verified": result.verified,
+        }
+    )
+    return cell
+
+
+def run_degradation_grid(
+    app: str = "is",
+    nprocs: int = 8,
+    protocols: Sequence[str] = DEFAULT_PROTOCOLS,
+    loss_rates: Sequence[float] = DEFAULT_LOSS_RATES,
+    seed: int = 7,
+    base_plan: Optional[FaultPlan] = None,
+    verify: bool = True,
+) -> dict:
+    """Run the grid and return the report dict (``BENCH_faults.json`` shape).
+
+    ``base_plan`` episodes (e.g. a duplication + reorder background from a
+    ``--faults PLAN.json`` file) apply to every cell; the loss episode sweep
+    is layered on top.  Slowdown is relative to each protocol's rate-0 cell
+    (with the same base plan), so the curves isolate the *loss* response.
+    """
+    loss_rates = tuple(sorted(set(float(r) for r in loss_rates)))
+    if not loss_rates:
+        raise ValueError("need at least one loss rate")
+    grid: list[dict] = []
+    for protocol in protocols:
+        baseline_time: Optional[float] = None
+        for rate in loss_rates:
+            cell = _grid_cell(app, protocol, nprocs, rate, seed, base_plan, verify)
+            if not cell["failed"]:
+                if baseline_time is None and rate == loss_rates[0]:
+                    baseline_time = cell["time"]
+                cell["slowdown"] = (
+                    round(cell["time"] / baseline_time, 4)
+                    if baseline_time
+                    else math.nan
+                )
+            grid.append(cell)
+    return {
+        "benchmark": "faults_degradation",
+        "app": app,
+        "nprocs": nprocs,
+        "seed": seed,
+        "loss_rates": list(loss_rates),
+        "protocols": list(protocols),
+        "base_plan": base_plan.to_json() if base_plan is not None else None,
+        "grid": grid,
+    }
+
+
+def format_degradation_grid(report: dict) -> str:
+    """Terminal rendering: one row per (protocol, loss rate)."""
+    lines = [
+        f"Degradation grid — {report['app']} x {report['nprocs']}p "
+        f"(seed {report['seed']})",
+        f"{'protocol':<8} {'loss':>6}  {'time (s)':>10} {'slowdown':>9} "
+        f"{'rexmit':>7} {'drops':>6}  verified",
+    ]
+    for cell in report["grid"]:
+        if cell["failed"]:
+            reason = cell["failure"]["reason"]
+            lines.append(
+                f"{cell['protocol']:<8} {cell['loss_rate']:>6.3f}  "
+                f"{'-':>10} {'-':>9} {'-':>7} {'-':>6}  FAILED ({reason})"
+            )
+            continue
+        lines.append(
+            f"{cell['protocol']:<8} {cell['loss_rate']:>6.3f}  "
+            f"{cell['time']:>10.4f} {cell.get('slowdown', float('nan')):>9.3f} "
+            f"{cell['rexmit']:>7} {cell['drops']:>6}  "
+            f"{'yes' if cell['verified'] else 'NO'}"
+        )
+    return "\n".join(lines)
+
+
+def write_degradation_report(report: dict, path: str = DEFAULT_FAULTS_OUTPUT) -> None:
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=1, sort_keys=True)
+        fh.write("\n")

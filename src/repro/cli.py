@@ -10,6 +10,8 @@ Commands
     values alongside.
 ``sweep APP``
     Print a speedup table for an application across processor counts.
+    ``sweep --faults [PLAN.json]`` instead runs the fault-degradation grid
+    (slowdown vs loss rate per protocol) and writes ``BENCH_faults.json``.
 ``trace APP``
     Run one application with event tracing: per-process time breakdown,
     message mix, optional causal critical path (``--critical-path``),
@@ -21,6 +23,12 @@ Commands
     flag regressions; ``--check`` makes regressions a non-zero exit for CI.
 ``list``
     Show the available applications, protocols, variants and tables.
+
+``run`` and ``trace`` accept ``--faults PLAN.json`` (a scripted
+:class:`repro.faults.FaultPlan`) and ``--drop-prob P`` (seeded uniform
+random loss); see docs/robustness.md.  A run that cannot complete — retry
+budget exhausted or a fail-stop crash episode — prints a one-screen
+structured diagnostic and exits with code 3 instead of a traceback.
 """
 
 from __future__ import annotations
@@ -31,6 +39,7 @@ import sys
 
 from repro.apps import APPS
 from repro.apps.common import run_app
+from repro.faults import EXIT_RUN_FAILURE, RunAborted, format_failure
 from repro.protocols import PROTOCOLS
 
 VARIANTS = {
@@ -39,6 +48,37 @@ VARIANTS = {
     "sor": ("default",),
     "nn": ("default", "no_rview"),
 }
+
+
+def _load_faults(args: argparse.Namespace):
+    """Resolve --faults PLAN.json into a FaultPlan (or None)."""
+    path = getattr(args, "faults", None)
+    if not path:
+        return None
+    from repro.faults import FaultPlan, FaultPlanError
+
+    try:
+        return FaultPlan.load(path)
+    except (OSError, FaultPlanError) as exc:
+        raise SystemExit(f"error: --faults {path}: {exc}") from exc
+
+
+def _netcfg_override(args: argparse.Namespace):
+    """Build a NetConfig when --drop-prob / --drop-seed are given."""
+    drop_prob = getattr(args, "drop_prob", None)
+    drop_seed = getattr(args, "drop_seed", None)
+    if drop_prob is None and drop_seed is None:
+        return None
+    from repro.net.config import NetConfig
+
+    kw = {}
+    if drop_prob is not None:
+        if not (0.0 <= drop_prob <= 1.0):
+            raise SystemExit(f"error: --drop-prob must be in [0, 1], got {drop_prob}")
+        kw["random_drop_prob"] = drop_prob
+    if drop_seed is not None:
+        kw["drop_seed"] = drop_seed
+    return NetConfig(**kw)
 
 
 def _net_snapshot(stats) -> dict | None:
@@ -108,9 +148,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         args.nprocs,
         variant=args.variant,
         verify=not args.no_verify,
+        netcfg=_netcfg_override(args),
         tracer=tracer,
         view_tracer=view_tracer,
         metrics=metrics,
+        faults=_load_faults(args),
     )
     status = "verified against sequential reference" if result.verified else "NOT verified"
     print(f"{args.app} on {args.protocol}, {args.nprocs} processors ({status})")
@@ -152,8 +194,10 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         args.nprocs,
         variant=args.variant,
         verify=not args.no_verify,
+        netcfg=_netcfg_override(args),
         tracer=tracer,
         metrics=metrics,
+        faults=_load_faults(args),
     )
     print(
         f"{args.app} on {args.protocol}, {args.nprocs} processors "
@@ -223,8 +267,43 @@ def _cmd_table(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep_faults(args: argparse.Namespace) -> int:
+    """`sweep --faults [PLAN]`: the per-protocol degradation grid."""
+    from repro.bench.degradation import (
+        DEFAULT_FAULTS_OUTPUT,
+        format_degradation_grid,
+        run_degradation_grid,
+        write_degradation_report,
+    )
+    from repro.faults import FaultPlan, FaultPlanError
+
+    base_plan = None
+    if args.faults:  # a path was given: layer the loss sweep over that plan
+        try:
+            base_plan = FaultPlan.load(args.faults)
+        except (OSError, FaultPlanError) as exc:
+            raise SystemExit(f"error: --faults {args.faults}: {exc}") from exc
+    nprocs = args.procs[0] if len(args.procs) == 1 else 8
+    report = run_degradation_grid(
+        app=args.app or "is",
+        nprocs=nprocs,
+        protocols=tuple(args.protocols),
+        loss_rates=tuple(args.loss_rates),
+        seed=args.faults_seed,
+        base_plan=base_plan,
+    )
+    print(format_degradation_grid(report))
+    out = args.faults_out or DEFAULT_FAULTS_OUTPUT
+    write_degradation_report(report, out)
+    print(f"wrote {out}")
+    return 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.bench import sweep as sweep_mod
+
+    if args.faults is not None:
+        return _cmd_sweep_faults(args)
 
     cache_dir = None if args.no_cache else (args.cache_dir or sweep_mod.DEFAULT_CACHE_DIR)
     jobs = args.jobs if args.jobs is not None else (os.cpu_count() or 1)
@@ -312,6 +391,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="record contention metrics; print per-view/per-page tables")
     p_run.add_argument("--metrics-out", default=None, metavar="PATH",
                        help="write the metrics snapshot as JSON (implies --metrics)")
+    p_run.add_argument("--faults", default=None, metavar="PLAN.json",
+                       help="install a scripted fault plan (docs/robustness.md)")
+    p_run.add_argument("--drop-prob", type=float, default=None, metavar="P",
+                       help="seeded uniform random loss probability at the switch")
+    p_run.add_argument("--drop-seed", type=int, default=None, metavar="SEED",
+                       help="seed for the random-loss / RED drop streams")
     p_run.set_defaults(fn=_cmd_run)
 
     p_trace = sub.add_parser(
@@ -336,6 +421,12 @@ def build_parser() -> argparse.ArgumentParser:
                          help="record contention metrics; print per-view/per-page tables")
     p_trace.add_argument("--metrics-out", default=None, metavar="PATH",
                          help="write the metrics snapshot as JSON (implies --metrics)")
+    p_trace.add_argument("--faults", default=None, metavar="PLAN.json",
+                         help="install a scripted fault plan (docs/robustness.md)")
+    p_trace.add_argument("--drop-prob", type=float, default=None, metavar="P",
+                         help="seeded uniform random loss probability at the switch")
+    p_trace.add_argument("--drop-seed", type=int, default=None, metavar="SEED",
+                         help="seed for the random-loss / RED drop streams")
     p_trace.set_defaults(fn=_cmd_trace)
 
     p_report = sub.add_parser(
@@ -386,6 +477,18 @@ def build_parser() -> argparse.ArgumentParser:
     p_sweep.add_argument("--trace", action="store_true",
                          help="trace full-matrix cells and add per-process time "
                          "breakdowns to the report (separate cache entries)")
+    p_sweep.add_argument("--faults", nargs="?", const="", default=None,
+                         metavar="PLAN.json",
+                         help="run the fault-degradation grid (slowdown vs loss "
+                         "rate per protocol) instead of the matrix; an optional "
+                         "plan file is layered under every cell")
+    p_sweep.add_argument("--loss-rates", nargs="+", type=float,
+                         default=[0.0, 0.002, 0.005, 0.01, 0.02], metavar="P",
+                         help="loss rates swept by the degradation grid")
+    p_sweep.add_argument("--faults-seed", type=int, default=7,
+                         help="FaultPlan seed for the degradation grid")
+    p_sweep.add_argument("--faults-out", default=None, metavar="PATH",
+                         help="degradation report path (default BENCH_faults.json)")
     p_sweep.set_defaults(fn=_cmd_sweep)
 
     p_list = sub.add_parser("list", help="show apps, protocols and tables")
@@ -396,7 +499,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except RunAborted as exc:
+        # expected fault outcome (retry budget exhausted / fail-stop crash):
+        # one-screen structured diagnostic, pinned exit code — no traceback
+        print(format_failure(exc.failure), file=sys.stderr)
+        return EXIT_RUN_FAILURE
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,0 +1,34 @@
+"""Deterministic fault injection (``repro.faults``).
+
+Scripted, seeded fault schedules (:class:`FaultPlan`) installed on a
+simulated cluster via :class:`FaultInjector`, plus the structured
+:class:`RunFailure` reporting that replaces tracebacks when a run cannot
+complete.  See docs/robustness.md for the schema, the determinism/replay
+guarantees, and the LRC_d-vs-VC_sd degradation example.
+"""
+
+from repro.faults.failure import (
+    EXIT_RUN_FAILURE,
+    NodeCrashed,
+    RunAborted,
+    RunFailure,
+    describe_failure,
+    format_failure,
+)
+from repro.faults.injector import FaultInjector, install_faults
+from repro.faults.plan import EPISODE_KINDS, Episode, FaultPlan, FaultPlanError
+
+__all__ = [
+    "EPISODE_KINDS",
+    "EXIT_RUN_FAILURE",
+    "Episode",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultPlanError",
+    "NodeCrashed",
+    "RunAborted",
+    "RunFailure",
+    "describe_failure",
+    "format_failure",
+    "install_faults",
+]

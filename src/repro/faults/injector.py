@@ -1,0 +1,211 @@
+"""The fault injector: installs a :class:`~repro.faults.plan.FaultPlan` on a
+cluster and answers the network/CPU layers' hook queries.
+
+Contract (mirroring ``tracer``/``metrics``):
+
+* **Zero overhead when absent.**  ``Simulator.faults`` is ``None`` by
+  default; every hook site guards with ``if faults is not None`` before
+  doing any work, so a build with fault support but no plan executes the
+  exact same simulator events as one without it (bit-identity is
+  test-enforced against the committed sweep fingerprints).
+* **Determinism.**  One ``RandomState`` stream, seeded from the plan and
+  *separate* from the NIC's RED stream, consumed in simulator event order:
+  same plan + seed → identical drops, duplicates, reorders, stats, traces.
+* **Results invariance.**  Loss/dup/reorder/degrade/slowdown episodes change
+  *timing and Rexmit*, never application answers — the reliable transport
+  absorbs them.  Only ``crash`` (fail-stop) and plans hostile enough to
+  exhaust the retry budget end a run, and those abort cleanly through
+  :mod:`repro.faults.failure`.
+
+Hook sites: ``Switch.transfer`` (loss, duplication, reordering, extra
+latency), ``Nic.on_arrival`` (receive-buffer shrink), ``Nic`` tx/rx wire
+time (bandwidth degradation), ``Node.compute`` (CPU slowdown / pause), and
+an installed timer per ``crash`` episode.  Fault events are surfaced as
+tracer instants (lane ``"faults"``) and ``fault_*`` metrics when those
+observers are installed.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from repro.faults.failure import NodeCrashed
+from repro.faults.plan import Episode, FaultPlan, FaultPlanError
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.cluster import Cluster
+    from repro.net.message import Message
+
+__all__ = ["FaultInjector", "install_faults"]
+
+# decorrelates the fault stream from the RED stream (cfg.drop_seed [+ node])
+_SEED_SALT = 0x5DEECE66
+
+
+class FaultInjector:
+    """Evaluates a fault plan against live traffic.  Create one per run."""
+
+    def __init__(self, plan: FaultPlan):
+        plan.validate()
+        self.plan = plan
+        self._rng = np.random.RandomState((plan.seed + _SEED_SALT) % 2**32)
+        self.sim = None
+        self.stats = None
+        # split by hook so each site scans only the episodes it can match
+        self._loss = plan.by_kind("loss")
+        degrade = plan.by_kind("degrade")
+        self._lat = tuple(ep for ep in degrade if ep.latency_add > 0.0)
+        self._bw = tuple(ep for ep in degrade if ep.bandwidth_factor != 1.0)
+        self._buffer = plan.by_kind("buffer")
+        self._dup = plan.by_kind("duplicate")
+        self._reorder = plan.by_kind("reorder")
+        self._slow = plan.by_kind("slowdown")
+        self._pause = plan.by_kind("pause")
+        self._crashes = plan.by_kind("crash")
+        # counters mirrored into the final report even without metrics
+        self.injected = {"drop": 0, "duplicate": 0, "reorder": 0}
+
+    # -- installation -------------------------------------------------------------
+
+    def install(self, cluster: "Cluster") -> "FaultInjector":
+        """Attach to ``cluster``: validate targets, arm crash timers."""
+        if self.sim is not None:
+            raise FaultPlanError("a FaultInjector can only be installed once")
+        n = cluster.n
+        for ep in self.plan.episodes:
+            for attr in ("node", "src", "dst"):
+                v = getattr(ep, attr)
+                if v is not None and not (0 <= v < n):
+                    raise FaultPlanError(
+                        f"{ep.kind}: {attr}={v} out of range for a {n}-node cluster"
+                    )
+        self.sim = cluster.sim
+        self.stats = cluster.stats
+        cluster.sim.faults = self
+        for ep in self._crashes:
+            cluster.sim.schedule_at(
+                max(ep.start, cluster.sim.now), self._crash, ep
+            )
+        return self
+
+    # -- message-level hooks (Switch.transfer) -------------------------------------
+
+    def on_transfer(self, msg: "Message") -> Optional[tuple]:
+        """Decide the fate of one switch transfer.
+
+        Returns ``None`` if the message is dropped (already counted/traced),
+        else ``(extra_delay, duplicate_delay_or_None)`` where both delays are
+        *additional* to the normal switch latency.
+        """
+        now = self.sim.now
+        src, dst = msg.src, msg.dst
+        for ep in self._loss:
+            if (
+                ep.start <= now < ep.end
+                and ep.matches(src, dst)
+                and self._rng.random_sample() < ep.drop_prob
+            ):
+                self.injected["drop"] += 1
+                self.stats.count_drop("fault")
+                self._observe("drop", msg, now)
+                return None
+        extra = 0.0
+        for ep in self._lat:
+            if ep.start <= now < ep.end and ep.matches(src, dst):
+                extra += ep.latency_add
+        for ep in self._reorder:
+            if (
+                ep.start <= now < ep.end
+                and ep.matches(src, dst)
+                and self._rng.random_sample() < ep.reorder_prob
+            ):
+                extra += self._rng.random_sample() * ep.reorder_delay
+                self.injected["reorder"] += 1
+                self._observe("reorder", msg, now)
+        dup: Optional[float] = None
+        for ep in self._dup:
+            if (
+                ep.start <= now < ep.end
+                and ep.matches(src, dst)
+                and self._rng.random_sample() < ep.dup_prob
+            ):
+                dup = extra
+                self.injected["duplicate"] += 1
+                self._observe("duplicate", msg, now)
+                break
+        return extra, dup
+
+    def _observe(self, what: str, msg: "Message", now: float) -> None:
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.instant(
+                msg.dst, "faults", "fault", f"{what} {msg.kind.name}",
+                now, {"src": msg.src, "bytes": msg.size},
+            )
+        metrics = self.sim.metrics
+        if metrics is not None:
+            metrics.inc(f"fault_{what}s", kind=msg.kind.name)
+
+    # -- node-level hooks ----------------------------------------------------------
+
+    def buffer_factor(self, node: int) -> float:
+        """Combined receive-buffer shrink factor for ``node`` right now."""
+        f = 1.0
+        now = self.sim.now
+        for ep in self._buffer:
+            if ep.start <= now < ep.end and (ep.node is None or ep.node == node):
+                f *= ep.buffer_factor
+        return f
+
+    def bandwidth_factor(self, node: int) -> float:
+        """Wire-time multiplier (>= 1) for ``node``'s NIC right now."""
+        f = 1.0
+        now = self.sim.now
+        for ep in self._bw:
+            if ep.start <= now < ep.end and (
+                ep.node is None or ep.node == node
+            ):
+                f *= ep.bandwidth_factor
+        return f
+
+    def compute_seconds(self, node: int, seconds: float) -> float:
+        """CPU slowdown/pause: the stretched duration of a compute slice
+        starting now on ``node``."""
+        now = self.sim.now
+        for ep in self._slow:
+            if ep.start <= now < ep.end and (ep.node is None or ep.node == node):
+                seconds *= ep.cpu_factor
+        for ep in self._pause:
+            if ep.start <= now < ep.end and (ep.node is None or ep.node == node):
+                stall = ep.end - now
+                self._observe_pause(node, now, stall)
+                seconds += stall
+        return seconds
+
+    def _observe_pause(self, node: int, now: float, stall: float) -> None:
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.instant(
+                node, "faults", "fault", "pause", now, {"stall": stall}
+            )
+        metrics = self.sim.metrics
+        if metrics is not None:
+            metrics.observe("fault_pause_seconds", stall, node=node)
+
+    # -- crash --------------------------------------------------------------------
+
+    def _crash(self, ep: Episode) -> None:
+        tracer = self.sim.tracer
+        if tracer is not None:
+            tracer.instant(
+                ep.node, "faults", "fault", f"crash node {ep.node}", self.sim.now
+            )
+        raise NodeCrashed(ep.node, self.sim.now)
+
+
+def install_faults(cluster: "Cluster", plan: "FaultPlan | FaultInjector") -> FaultInjector:
+    """Install ``plan`` (or a pre-built injector) on ``cluster``."""
+    injector = plan if isinstance(plan, FaultInjector) else FaultInjector(plan)
+    return injector.install(cluster)

@@ -99,6 +99,10 @@ class Node:
     def compute(self, seconds: float) -> Generator:
         """Charge ``seconds`` of CPU time to simulated time (``yield from``)."""
         if seconds > 0:
+            faults = self.sim.faults
+            if faults is not None:
+                # CPU slowdown / pause episodes stretch the charged slice
+                seconds = faults.compute_seconds(self.id, seconds)
             yield Timeout(seconds)
         return None
 
@@ -143,6 +147,13 @@ class Cluster:
 
     def __getitem__(self, i: int) -> Node:
         return self.nodes[i]
+
+    def install_faults(self, plan):
+        """Install a :class:`repro.faults.FaultPlan` (or injector) on this
+        cluster; returns the installed :class:`~repro.faults.FaultInjector`."""
+        from repro.faults.injector import install_faults
+
+        return install_faults(self, plan)
 
     def run(self, until: Optional[float] = None) -> float:
         return self.sim.run(until=until)

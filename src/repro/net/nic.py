@@ -95,9 +95,11 @@ class Nic:
                 {"bytes": msg.size, "dst": msg.dst, "msg": tracer.norm(msg.msg_id)},
             )
         # software send overhead + wire serialisation at link rate
-        self.sim.schedule(
-            self.cfg.send_overhead + self.cfg.tx_time(msg.size), self._tx_done, msg
-        )
+        wire = self.cfg.tx_time(msg.size)
+        faults = self.sim.faults
+        if faults is not None:
+            wire *= faults.bandwidth_factor(self.node_id)
+        self.sim.schedule(self.cfg.send_overhead + wire, self._tx_done, msg)
 
     def _tx_done(self, msg: "Message") -> None:
         assert self._switch is not None, "NIC not attached to a switch"
@@ -124,16 +126,23 @@ class Nic:
         wire = msg.size + self.cfg.header_bytes
         soft = self.cfg.red_threshold_bytes
         cap = self.cfg.recv_buffer_bytes
+        faults = self.sim.faults
+        if faults is not None:
+            # receive-buffer shrink episodes scale both limits together
+            factor = faults.buffer_factor(self.node_id)
+            if factor != 1.0:
+                soft *= factor
+                cap *= factor
         if self.rx_bytes > 0 and self.rx_bytes + wire > cap:
             # an oversized message is only accepted into an empty buffer
             # (standing in for the fragmentation a real stack would do)
-            self.stats.count_drop()
+            self.stats.count_drop("overflow")
             self._trace_drop(msg, "overflow")
             return
         if self.rx_bytes > soft and cap > soft:
             p_drop = (self.rx_bytes - soft) / (cap - soft)
             if self._rng.random_sample() < p_drop:
-                self.stats.count_drop()
+                self.stats.count_drop("red")
                 self._trace_drop(msg, "red")
                 return
         self.rx_bytes += wire
@@ -161,9 +170,11 @@ class Nic:
             )
         # inbound wire time (the port is shared by all senders) + software
         # receive overhead
-        self.sim.schedule(
-            self.cfg.tx_time(msg.size) + self.cfg.recv_overhead, self._rx_done, msg
-        )
+        wire = self.cfg.tx_time(msg.size)
+        faults = self.sim.faults
+        if faults is not None:
+            wire *= faults.bandwidth_factor(self.node_id)
+        self.sim.schedule(wire + self.cfg.recv_overhead, self._rx_done, msg)
 
     def _rx_done(self, msg: "Message") -> None:
         tracer = self.sim.tracer
@@ -202,7 +213,23 @@ class Switch:
         if self.cfg.random_drop_prob > 0.0 and (
             self._rng.random_sample() < self.cfg.random_drop_prob
         ):
-            self.stats.count_drop()
+            self.stats.count_drop("random")
             return
         dst_nic = self.ports[msg.dst]
+        faults = self.sim.faults
+        if faults is not None:
+            # scripted fault episodes: loss, extra latency / bounded
+            # reordering, duplication (see repro.faults.injector)
+            verdict = faults.on_transfer(msg)
+            if verdict is None:
+                return  # dropped; the injector counted and traced it
+            extra, dup = verdict
+            if dup is not None:
+                self.sim.schedule(
+                    self.cfg.switch_latency + dup, dst_nic.on_arrival, msg.wire_copy()
+                )
+            self.sim.schedule(
+                self.cfg.switch_latency + extra, dst_nic.on_arrival, msg
+            )
+            return
         self.sim.schedule(self.cfg.switch_latency, dst_nic.on_arrival, msg)

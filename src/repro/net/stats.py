@@ -31,6 +31,10 @@ class NetStats:
     drops: int = 0
     # kind -> [count, bytes] (mutated in place on the send hot path)
     by_kind: dict = field(default_factory=dict)
+    # cause ("overflow" | "red" | "random" | "fault") -> count
+    drops_by_cause: dict = field(default_factory=dict)
+    # kind -> count of retransmissions of that kind
+    rexmit_by_kind: dict = field(default_factory=dict)
     # enum -> str(enum), memoised: str() on an Enum member is surprisingly
     # expensive and count_send runs once per protocol message
     _kind_names: dict = field(default_factory=dict, repr=False)
@@ -51,12 +55,18 @@ class NetStats:
     def count_ack(self) -> None:
         self.acks += 1
 
-    def count_rexmit(self, size: int) -> None:
+    def count_rexmit(self, size: int, kind=None) -> None:
         self.rexmit += 1
         self.rexmit_bytes += size
+        if kind is not None:
+            k = self._kind_names.get(kind)
+            if k is None:
+                k = self._kind_names[kind] = str(kind)
+            self.rexmit_by_kind[k] = self.rexmit_by_kind.get(k, 0) + 1
 
-    def count_drop(self) -> None:
+    def count_drop(self, cause: str = "overflow") -> None:
         self.drops += 1
+        self.drops_by_cause[cause] = self.drops_by_cause.get(cause, 0) + 1
 
     def snapshot(self) -> dict:
         """Plain-dict copy for reporting."""
@@ -67,6 +77,8 @@ class NetStats:
             "rexmit": self.rexmit,
             "rexmit_bytes": self.rexmit_bytes,
             "drops": self.drops,
+            "drops_by_cause": dict(sorted(self.drops_by_cause.items())),
+            "rexmit_by_kind": dict(sorted(self.rexmit_by_kind.items())),
             "by_kind": {
                 k: {"count": v[0], "bytes": v[1]} for k, v in self.by_kind.items()
             },

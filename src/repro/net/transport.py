@@ -17,12 +17,20 @@ Retransmission waits use :meth:`Event.wait_timeout` — the kernel's
 cancellable wait primitive — so each ack/timeout race costs zero auxiliary
 event or callback allocations and the losing wake-up is deregistered.
 
+Retransmission timing follows :meth:`NetConfig.retry_schedule`: a fixed
+1 s timeout by default (the paper's observed behaviour), optionally
+exponential backoff (``backoff_factor``/``backoff_max``) with deterministic
+per-message jitter (``backoff_jitter``) derived from a run-local send
+sequence number and the attempt — no RNG state, so runs stay
+bit-reproducible even when replayed inside one process.
+
 Duplicate-suppression state (``_seen_reliable``, ``_reply_cache``) is
 bounded: entries are evicted once they are older than the *duplicate
-horizon* — the longest interval after first receipt during which the sender
-can still retransmit, ``(max_retries + 2) * rexmit_timeout`` — which keeps
-the at-most-once guarantee while holding table sizes proportional to
-in-flight traffic rather than run length.
+horizon* — derived from the configured worst-case retry window
+(:meth:`NetConfig.worst_case_retry_window`, every timeout at full jitter
+stretch) plus one base timeout of slack for delivery delays — which keeps
+the at-most-once guarantee under any backoff schedule while holding table
+sizes proportional to in-flight traffic rather than run length.
 
 Statistics: original sends are counted in ``NetStats.num_msg``/``data_bytes``
 (replies too, acks not); every retransmission increments ``rexmit``.
@@ -45,7 +53,46 @@ __all__ = ["Transport", "RequestError"]
 
 
 class RequestError(RuntimeError):
-    """A reliable send or request exhausted its retransmission budget."""
+    """A reliable send or request exhausted its retransmission budget.
+
+    Carries structured context (``node``, ``dst``, ``kind``, ``attempts``,
+    ``sim_time``) so the run level can escalate it into a
+    :class:`repro.faults.failure.RunFailure` diagnostic instead of a
+    traceback.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        node: "int | None" = None,
+        dst: "int | None" = None,
+        kind: "str | None" = None,
+        attempts: "int | None" = None,
+        sim_time: "float | None" = None,
+    ):
+        super().__init__(message)
+        self.node = node
+        self.dst = dst
+        self.kind = kind
+        self.attempts = attempts
+        self.sim_time = sim_time
+
+
+def _jitter_unit(key: int, attempt: int) -> float:
+    """Deterministic pseudo-random fraction in [0, 1) for retry jitter.
+
+    A cheap integer hash of (send key, attempt): no RNG object, no global
+    state, so jittered schedules replay identically and perturb nothing
+    else.  The key is a *run-local* per-endpoint sequence number (not the
+    process-global message id, which would differ between two runs executed
+    in the same process and break in-process replay).
+    """
+    x = (key * 2654435761 + attempt * 40503) & 0xFFFFFFFF
+    x ^= x >> 16
+    x = (x * 2246822519) & 0xFFFFFFFF
+    x ^= x >> 13
+    return x / 4294967296.0
 
 
 class Transport:
@@ -70,10 +117,18 @@ class Transport:
         # (src, req_id) -> (time cached, reply); insertion order == time order
         self._reply_cache: dict[tuple[int, int], tuple[float, Message]] = {}
         self._requests_in_progress: set[tuple[int, int]] = set()
+        # per-attempt ack/reply timeouts (fixed by default, backed-off when
+        # configured); cached once — the config never changes mid-run
+        self._schedule = cfg.retry_schedule()
+        self._jitter = cfg.backoff_jitter
+        self._send_seq = 0  # jitter key source; run-local, replay-stable
         # a duplicate of a message first received at t can arrive no later
-        # than t + max_retries * rexmit_timeout plus delivery delays; one
-        # extra timeout of slack absorbs those delays
-        self._dup_horizon = (cfg.max_retries + 2) * cfg.rexmit_timeout
+        # than t + the worst-case retry window (every timeout at full jitter
+        # stretch) plus delivery delays; one base timeout of slack absorbs
+        # those delays.  Derived, not hard-coded: a backoff schedule widens
+        # the window and the horizon must widen with it or at-most-once
+        # silently breaks.
+        self._dup_horizon = cfg.worst_case_retry_window() + cfg.rexmit_timeout
 
     # -- send paths -------------------------------------------------------------
 
@@ -150,21 +205,33 @@ class Transport:
         self._requests_in_progress.discard(key)
         self.nic.send(reply)
 
+    def _wait_for(self, key: int, attempt: int) -> float:
+        """The (possibly backed-off, possibly jittered) timeout after
+        transmission ``attempt`` (0 = the original send)."""
+        base = self._schedule[attempt]
+        if self._jitter:
+            return base * (1.0 + self._jitter * _jitter_unit(key, attempt))
+        return base
+
     def _retry_until(self, msg: Message, done: Event) -> Generator:
         """Transmit ``msg``, retransmitting until ``done`` fires.
 
         Every transmitted copy — including the final retransmission — gets a
-        full ``rexmit_timeout`` for its ack/reply to come back before
+        full schedule slot for its ack/reply to come back before
         :class:`RequestError` is raised, so ``max_retries + 1`` copies hit
         the wire in the worst case and each one can complete the send.
         """
+        if self._jitter:
+            self._send_seq += 1
+            jkey = (self._send_seq << 6) + self.node_id
+        else:
+            jkey = 0  # unused: _wait_for skips the jitter term entirely
         self.nic.send(msg.wire_copy())
-        timeout = self.cfg.rexmit_timeout
         for attempt in range(1, self.cfg.max_retries + 1):
-            result = yield done.wait_timeout(timeout)
+            result = yield done.wait_timeout(self._wait_for(jkey, attempt - 1))
             if result is not TIMED_OUT:
                 return result
-            self.stats.count_rexmit(msg.size)
+            self.stats.count_rexmit(msg.size, msg.kind)
             tracer = self.sim.tracer
             if tracer is not None:
                 tracer.instant(
@@ -175,12 +242,19 @@ class Transport:
             retry = msg.wire_copy()
             retry.attempt = attempt
             self.nic.send(retry)
-        result = yield done.wait_timeout(timeout)
+        result = yield done.wait_timeout(
+            self._wait_for(jkey, self.cfg.max_retries)
+        )
         if result is not TIMED_OUT:
             return result
         raise RequestError(
             f"node {self.node_id}: {msg.kind} to {msg.dst} lost after "
-            f"{self.cfg.max_retries} retries"
+            f"{self.cfg.max_retries} retries",
+            node=self.node_id,
+            dst=msg.dst,
+            kind=msg.kind.name,
+            attempts=self.cfg.max_retries,
+            sim_time=self.sim.now,
         )
 
     # -- receive path -------------------------------------------------------------
@@ -229,7 +303,7 @@ class Transport:
             cached = self._reply_cache.get(key)
             if cached is not None:
                 # reply was lost: resend it without re-running the handler
-                self.stats.count_rexmit(cached[1].size)
+                self.stats.count_rexmit(cached[1].size, cached[1].kind)
                 self.nic.send(cached[1].wire_copy())
                 return None
             if key in self._requests_in_progress:

@@ -281,6 +281,10 @@ class Simulator:
         # optional repro.obs.Metrics registry, same contract as the tracer:
         # None means zero overhead, installed means record-only
         self.metrics = None
+        # optional repro.faults.FaultInjector, same None-default contract:
+        # every hook site (switch, NIC, Node.compute) guards on this before
+        # doing any work, so no plan installed means no behaviour change
+        self.faults = None
         self._heap: list[tuple[float, int, Callable, tuple]] = []
         self._timers: deque[tuple[float, int, Callable, tuple]] = deque()
         self._ready: deque[tuple[Callable, tuple]] = deque()

@@ -1,0 +1,126 @@
+"""Graceful failure reporting: RunFailure structure and the pinned exit code.
+
+A hostile network must end a run with a one-screen diagnostic and CLI exit
+code 3 — never a traceback, never a hang.  The exit code is part of the CLI
+contract (scripts and CI match on it), so it is pinned literally here.
+"""
+
+import json
+
+import pytest
+
+from repro.apps import APPS
+from repro.apps.common import run_app
+from repro.cli import main
+from repro.faults import (
+    EXIT_RUN_FAILURE,
+    Episode,
+    FaultPlan,
+    RunAborted,
+    describe_failure,
+    format_failure,
+)
+
+
+def test_exit_code_is_pinned():
+    # 0 = success, 2 = argparse/user error, 3 = structured run failure
+    assert EXIT_RUN_FAILURE == 3
+
+
+# -- describe_failure ------------------------------------------------------------
+
+
+def test_unrelated_exceptions_are_not_described():
+    class FakeCluster:
+        nodes = ()
+
+    assert describe_failure(ValueError("a genuine bug"), FakeCluster()) is None
+
+
+def test_crash_plan_aborts_run_app_with_structured_failure():
+    plan = FaultPlan((Episode(kind="crash", node=1, start=0.005),))
+    with pytest.raises(RunAborted) as exc_info:
+        run_app(APPS["is"], "vc_sd", 4, faults=plan)
+    failure = exc_info.value.failure
+    assert failure.reason == "node-crash"
+    assert failure.node == 1
+    assert failure.sim_time == pytest.approx(0.005)
+    assert failure.net is not None and failure.net["num_msg"] >= 0
+    # JSON form round-trips for machine consumption (degradation grid, CI)
+    assert json.loads(json.dumps(failure.to_json()))["reason"] == "node-crash"
+
+
+def test_retry_exhaustion_aborts_with_context():
+    from repro.net.config import NetConfig
+
+    # total blackout: every transfer dropped, so the first reliable send
+    # burns its whole retry budget and must abort (not hang)
+    plan = FaultPlan((Episode(kind="loss", drop_prob=1.0),))
+    netcfg = NetConfig(rexmit_timeout=0.05, max_retries=3)
+    with pytest.raises(RunAborted) as exc_info:
+        run_app(APPS["is"], "vc_sd", 2, netcfg=netcfg, faults=plan)
+    failure = exc_info.value.failure
+    assert failure.reason == "retry-exhausted"
+    assert failure.attempts == 3
+    assert failure.kind is not None
+    assert failure.node is not None and failure.dst is not None
+    assert failure.net["drops_by_cause"].get("fault", 0) > 0
+
+
+def test_format_failure_is_one_screen_and_informative():
+    plan = FaultPlan((Episode(kind="crash", node=0, start=0.01),))
+    with pytest.raises(RunAborted) as exc_info:
+        run_app(APPS["sor"], "lrc_d", 2, faults=plan)
+    text = format_failure(exc_info.value.failure)
+    assert "run failed: node-crash" in text
+    assert "failing node       0" in text
+    assert "hint:" in text
+    assert len(text.splitlines()) <= 25, "diagnostic must fit one screen"
+
+
+# -- CLI surface -----------------------------------------------------------------
+
+
+def test_cli_hostile_network_exits_3(capsys):
+    assert main(["run", "is", "--nprocs", "2", "--drop-prob", "1.0"]) == 3
+    captured = capsys.readouterr()
+    assert "run failed: retry-exhausted" in captured.err
+    assert "Traceback" not in captured.err
+
+
+def test_cli_crash_plan_exits_3(capsys, tmp_path):
+    path = tmp_path / "crash.json"
+    FaultPlan((Episode(kind="crash", node=1, start=0.01),)).dump(str(path))
+    code = main(
+        ["run", "is", "--nprocs", "2", "--protocol", "vc_sd", "--faults", str(path)]
+    )
+    assert code == 3
+    captured = capsys.readouterr()
+    assert "run failed: node-crash" in captured.err
+    assert "Traceback" not in captured.err
+
+
+def test_cli_rejects_bad_plan_file(tmp_path, capsys):
+    path = tmp_path / "bad.json"
+    path.write_text('{"episodes": [{"kind": "meteor"}]}')
+    with pytest.raises(SystemExit) as exc_info:
+        main(["run", "is", "--nprocs", "2", "--faults", str(path)])
+    assert "unknown episode kind" in str(exc_info.value)
+
+
+def test_cli_rejects_out_of_range_drop_prob():
+    with pytest.raises(SystemExit) as exc_info:
+        main(["run", "is", "--nprocs", "2", "--drop-prob", "1.5"])
+    assert "--drop-prob" in str(exc_info.value)
+
+
+def test_cli_benign_plan_still_succeeds(capsys, tmp_path):
+    path = tmp_path / "mild.json"
+    FaultPlan(
+        (Episode(kind="loss", drop_prob=0.01),), seed=5
+    ).dump(str(path))
+    assert main(
+        ["run", "is", "--nprocs", "2", "--protocol", "vc_sd", "--faults", str(path)]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "verified against sequential reference" in out

@@ -121,6 +121,38 @@ def test_run_trace_views_needs_vc(capsys):
     assert "vc_d or vc_sd" in capsys.readouterr().err
 
 
+def test_sweep_faults_runs_degradation_grid(capsys, tmp_path):
+    import json
+
+    out = tmp_path / "BENCH_faults.json"
+    assert main([
+        "sweep", "is", "--procs", "2", "--protocols", "vc_sd",
+        "--loss-rates", "0", "0.01", "--faults-out", str(out), "--faults",
+    ]) == 0
+    printed = capsys.readouterr().out
+    assert "Degradation grid" in printed
+    report = json.loads(out.read_text())
+    assert report["benchmark"] == "faults_degradation"
+    assert len(report["grid"]) == 2
+    assert all(c["verified"] for c in report["grid"])
+
+
+def test_sweep_faults_with_plan_file(capsys, tmp_path):
+    import json
+
+    from repro.faults import Episode, FaultPlan
+
+    plan = tmp_path / "plan.json"
+    FaultPlan((Episode(kind="duplicate", dup_prob=0.1),)).dump(str(plan))
+    out = tmp_path / "BENCH_faults.json"
+    assert main([
+        "sweep", "is", "--procs", "2", "--protocols", "vc_sd",
+        "--loss-rates", "0", "--faults-out", str(out), "--faults", str(plan),
+    ]) == 0
+    report = json.loads(out.read_text())
+    assert report["base_plan"]["episodes"][0]["kind"] == "duplicate"
+
+
 def test_invalid_app_rejected():
     with pytest.raises(SystemExit):
         main(["run", "nosuchapp"])

@@ -9,7 +9,7 @@ REPO = Path(__file__).resolve().parents[1]
 def test_required_documents_exist():
     for name in ("README.md", "DESIGN.md", "EXPERIMENTS.md", "LICENSE",
                  "docs/protocols.md", "docs/simulator.md",
-                 "docs/observability.md"):
+                 "docs/observability.md", "docs/robustness.md"):
         assert (REPO / name).is_file(), name
 
 
@@ -72,6 +72,8 @@ def test_every_public_module_has_a_docstring():
         "repro.protocols.vc_sd", "repro.core.vopp", "repro.core.shared_array",
         "repro.tools.tracer", "repro.tools.autoview",
         "repro.obs.tracer", "repro.obs.breakdown", "repro.obs.export",
+        "repro.faults", "repro.faults.plan", "repro.faults.injector",
+        "repro.faults.failure", "repro.bench.degradation",
     ):
         mod = importlib.import_module(module)
         assert mod.__doc__ and len(mod.__doc__.strip()) > 20, module
