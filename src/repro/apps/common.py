@@ -105,6 +105,8 @@ def run_app(
     view_tracer: Any = None,
     metrics: Any = None,
     faults: Any = None,
+    pdes_workers: Optional[int] = None,
+    pdes_mode: str = "fork",
 ) -> AppResult:
     """Build, run and (optionally) verify one application.
 
@@ -128,6 +130,39 @@ def run_app(
     unchanged (it is a bug, not a fault outcome).
     """
     config = config or app_module.default_config()
+    if pdes_workers is not None and pdes_workers > 1:
+        # partitioned (PDES) execution: same observables, different engine;
+        # unsupported combinations raise PdesError (see repro.sim.pdes)
+        from repro.sim.pdes import run_partitioned
+
+        outcome = run_partitioned(
+            app_module, protocol=protocol, nprocs=nprocs, config=config,
+            variant=variant, workers=pdes_workers, mode=pdes_mode,
+            netcfg=netcfg, nodecfg=nodecfg, trace=tracer is not None,
+            view_tracer=view_tracer, metrics=metrics, faults=faults,
+        )
+        result = AppResult(
+            protocol, nprocs, outcome.output, outcome.stats, outcome.time,
+            events=outcome.events,
+        )
+        if tracer is not None:
+            # hand the merged trace back through the caller's tracer object
+            tracer.events[:] = outcome.tracer.events
+            tracer.sends.clear()
+            tracer.sends.update(outcome.tracer.sends)
+            tracer.wakes[:] = outcome.tracer.wakes
+            tracer._mid.clear()
+            tracer._mid.update(outcome.tracer._mid)
+            result.breakdown = tracer.breakdown()
+        if verify:
+            expected = app_module.sequential(config)
+            result.verified = app_module.outputs_match(result.output, expected)
+            if not result.verified:
+                raise AssertionError(
+                    f"{app_module.__name__} on {protocol}/{nprocs}p "
+                    "produced wrong output"
+                )
+        return result
     if protocol == "mpi":
         if view_tracer is not None:
             raise ValueError("--trace-views needs a DSM protocol, not mpi")

@@ -40,6 +40,7 @@ __all__ = [
     "build",
     "extract",
     "outputs_match",
+    "build_mpi",
     "run_mpi",
 ]
 
@@ -327,10 +328,12 @@ def extract(system, config: NnConfig):
 # -- MPI -------------------------------------------------------------------------------------
 
 
-def run_mpi(system, config: NnConfig) -> dict:
-    """The Table 9 MPI baseline: scatter data once, allreduce the gradient."""
+def build_mpi(system, config: NnConfig):
+    """Program body for the Table 9 MPI baseline: scatter data once,
+    allreduce the gradient.  Rank 0 stashes the read-out on
+    ``system.app_output`` (the PDES driver spawns the body per partition and
+    collects the output from whichever partition owns rank 0)."""
     W = n_weights(config)
-    outputs = {}
 
     def body(comm) -> Generator:
         p = comm.rank
@@ -357,12 +360,17 @@ def run_mpi(system, config: NnConfig) -> dict:
             )
         if p == 0:
             x, y = _dataset(config)
-            outputs["result"] = {
+            system.app_output = {
                 "weights": w,
                 "loss": _loss(w, x, y, config),
                 "initial_loss": _loss(_init_weights(config), x, y, config),
             }
         return None
 
-    system.run_program(body)
-    return outputs["result"]
+    return body
+
+
+def run_mpi(system, config: NnConfig) -> dict:
+    """Serial entry point for the MPI baseline."""
+    system.run_program(build_mpi(system, config))
+    return system.app_output

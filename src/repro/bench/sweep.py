@@ -183,12 +183,19 @@ def code_fingerprint(refresh: bool = False) -> str:
     return _CODE_FP
 
 
-def cell_key(cell: SweepCell, code_fp: Optional[str] = None, trace: bool = False) -> str:
+def cell_key(
+    cell: SweepCell,
+    code_fp: Optional[str] = None,
+    trace: bool = False,
+    pdes_workers: Optional[int] = None,
+) -> str:
     """Content-addressed cache key for one cell.
 
     Traced and untraced runs use distinct keys (a traced result carries a
     time breakdown the untraced one lacks), so enabling ``--trace`` never
     recalls an untraced cached entry or pollutes the untraced cache.
+    Partitioned (PDES) runs likewise key separately — the simulated results
+    are bit-identical, but the host-side wall/throughput figures are not.
     """
     material = {
         "app": cell.app,
@@ -201,6 +208,8 @@ def cell_key(cell: SweepCell, code_fp: Optional[str] = None, trace: bool = False
     }
     if trace:
         material["trace"] = True
+    if pdes_workers is not None and pdes_workers > 1:
+        material["pdes_workers"] = pdes_workers
     return hashlib.sha256(
         json.dumps(material, sort_keys=True, default=repr).encode()
     ).hexdigest()
@@ -236,7 +245,10 @@ class ResultCache:
 
 
 def _execute_cell(
-    cell: SweepCell, verify: bool, trace: bool = False
+    cell: SweepCell,
+    verify: bool,
+    trace: bool = False,
+    pdes_workers: Optional[int] = None,
 ) -> tuple[AppResult, float, int]:
     """Run one cell; returns (result, wall seconds, peak RSS KiB).
 
@@ -258,6 +270,7 @@ def _execute_cell(
         variant=cell.variant,
         verify=verify,
         tracer=tracer,
+        pdes_workers=pdes_workers,
     )
     wall = time.perf_counter() - t0
     rss_kb = int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
@@ -265,12 +278,12 @@ def _execute_cell(
 
 
 def _worker(
-    args: tuple[SweepCell, bool, Optional[str], str, bool]
+    args: tuple[SweepCell, bool, Optional[str], str, bool, Optional[int]]
 ) -> tuple[AppResult, float, int]:
-    cell, verify, cache_root, code_fp, trace = args
-    out = _execute_cell(cell, verify, trace)
+    cell, verify, cache_root, code_fp, trace, pdes_workers = args
+    out = _execute_cell(cell, verify, trace, pdes_workers)
     if cache_root is not None:
-        ResultCache(cache_root).put(cell_key(cell, code_fp, trace), *out)
+        ResultCache(cache_root).put(cell_key(cell, code_fp, trace, pdes_workers), *out)
     return out
 
 
@@ -280,17 +293,20 @@ def run_sweep(
     cache_dir: Optional[str] = DEFAULT_CACHE_DIR,
     verify: bool = True,
     trace: bool = False,
+    pdes_workers: Optional[int] = None,
 ) -> SweepReport:
     """Run every cell, using the cache and up to ``jobs`` worker processes.
 
     Cache hits are resolved first (in this process); only misses are
     dispatched to the pool.  ``jobs <= 1`` executes misses serially in this
-    process — the results are identical either way.
+    process — the results are identical either way.  ``pdes_workers``
+    executes each cell under the partitioned engine (fork mode), so keep
+    ``jobs=1`` when setting it — the partitions are the parallelism.
     """
     t_start = time.perf_counter()
     code_fp = code_fingerprint()
     cache = ResultCache(cache_dir) if cache_dir is not None else None
-    keys = [cell_key(cell, code_fp, trace) for cell in cells]
+    keys = [cell_key(cell, code_fp, trace, pdes_workers) for cell in cells]
 
     slots: list[Optional[CellResult]] = [None] * len(cells)
     misses: list[int] = []
@@ -303,14 +319,17 @@ def run_sweep(
             misses.append(i)
 
     if misses and jobs > 1:
-        work = [(cells[i], verify, cache_dir, code_fp, trace) for i in misses]
+        work = [
+            (cells[i], verify, cache_dir, code_fp, trace, pdes_workers)
+            for i in misses
+        ]
         with ProcessPoolExecutor(max_workers=min(jobs, len(misses))) as pool:
             for i, out in zip(misses, pool.map(_worker, work)):
                 result, wall, rss_kb = out
                 slots[i] = CellResult(cells[i], result, wall, rss_kb, cache_hit=False)
     else:
         for i in misses:
-            result, wall, rss_kb = _execute_cell(cells[i], verify, trace)
+            result, wall, rss_kb = _execute_cell(cells[i], verify, trace, pdes_workers)
             if cache is not None:
                 cache.put(keys[i], result, wall, rss_kb)
             slots[i] = CellResult(cells[i], result, wall, rss_kb, cache_hit=False)

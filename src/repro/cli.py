@@ -81,6 +81,13 @@ def _netcfg_override(args: argparse.Namespace):
     return NetConfig(**kw)
 
 
+def _pdes_error():
+    """The PdesError type, imported lazily (for ``except`` clauses)."""
+    from repro.sim.pdes import PdesError
+
+    return PdesError
+
+
 def _net_snapshot(stats) -> dict | None:
     """Network counters of a run (RunStats embeds NetStats; MPI has it bare)."""
     net = getattr(stats, "net", stats)
@@ -142,20 +149,27 @@ def _cmd_run(args: argparse.Namespace) -> int:
         from repro.tools.tracer import ViewTracer
 
         view_tracer = ViewTracer()
-    result = run_app(
-        app,
-        args.protocol,
-        args.nprocs,
-        variant=args.variant,
-        verify=not args.no_verify,
-        netcfg=_netcfg_override(args),
-        tracer=tracer,
-        view_tracer=view_tracer,
-        metrics=metrics,
-        faults=_load_faults(args),
-    )
+    try:
+        result = run_app(
+            app,
+            args.protocol,
+            args.nprocs,
+            variant=args.variant,
+            verify=not args.no_verify,
+            netcfg=_netcfg_override(args),
+            tracer=tracer,
+            view_tracer=view_tracer,
+            metrics=metrics,
+            faults=_load_faults(args),
+            pdes_workers=args.pdes_workers,
+            pdes_mode=args.pdes_mode,
+        )
+    except _pdes_error() as exc:
+        print(f"error: --pdes-workers: {exc}", file=sys.stderr)
+        return 2
     status = "verified against sequential reference" if result.verified else "NOT verified"
-    print(f"{args.app} on {args.protocol}, {args.nprocs} processors ({status})")
+    workers = f", {args.pdes_workers} PDES partitions" if args.pdes_workers else ""
+    print(f"{args.app} on {args.protocol}, {args.nprocs} processors{workers} ({status})")
     for key, value in result.table_row().items():
         print(f"  {key:<24} {value}")
     if result.breakdown is not None:
@@ -188,17 +202,23 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
     tracer = EventTracer()
     metrics = Metrics() if (args.metrics or args.metrics_out) else None
-    result = run_app(
-        app,
-        args.protocol,
-        args.nprocs,
-        variant=args.variant,
-        verify=not args.no_verify,
-        netcfg=_netcfg_override(args),
-        tracer=tracer,
-        metrics=metrics,
-        faults=_load_faults(args),
-    )
+    try:
+        result = run_app(
+            app,
+            args.protocol,
+            args.nprocs,
+            variant=args.variant,
+            verify=not args.no_verify,
+            netcfg=_netcfg_override(args),
+            tracer=tracer,
+            metrics=metrics,
+            faults=_load_faults(args),
+            pdes_workers=args.pdes_workers,
+            pdes_mode=args.pdes_mode,
+        )
+    except _pdes_error() as exc:
+        print(f"error: --pdes-workers: {exc}", file=sys.stderr)
+        return 2
     print(
         f"{args.app} on {args.protocol}, {args.nprocs} processors "
         f"— {result.time:.6f} simulated seconds, {len(tracer.events)} trace events"
@@ -307,12 +327,18 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
 
     cache_dir = None if args.no_cache else (args.cache_dir or sweep_mod.DEFAULT_CACHE_DIR)
     jobs = args.jobs if args.jobs is not None else (os.cpu_count() or 1)
+    if args.pdes_workers and args.jobs is None:
+        jobs = 1  # the partitions are the parallelism; don't also fan out cells
     if args.app is None:
         # full benchmark matrix -> consolidated BENCH_sweep.json
-        report = sweep_mod.run_sweep(
-            sweep_mod.default_cells(), jobs=jobs, cache_dir=cache_dir,
-            trace=args.trace,
-        )
+        try:
+            report = sweep_mod.run_sweep(
+                sweep_mod.default_cells(), jobs=jobs, cache_dir=cache_dir,
+                trace=args.trace, pdes_workers=args.pdes_workers,
+            )
+        except _pdes_error() as exc:
+            print(f"error: --pdes-workers: {exc}", file=sys.stderr)
+            return 2
         report_path = args.report or sweep_mod.DEFAULT_OUTPUT
         sweep_mod.write_report(report, report_path)
         for cell in report.cells:
@@ -397,6 +423,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="seeded uniform random loss probability at the switch")
     p_run.add_argument("--drop-seed", type=int, default=None, metavar="SEED",
                        help="seed for the random-loss / RED drop streams")
+    p_run.add_argument("--pdes-workers", type=int, default=None, metavar="K",
+                       help="partition the simulated cluster across K workers "
+                       "under the conservative PDES engine (bit-identical "
+                       "results; see docs/simulator.md)")
+    p_run.add_argument("--pdes-mode", default="fork", choices=("fork", "inline"),
+                       help="PDES partition execution: OS processes (fork, "
+                       "default) or single-process round-robin (inline)")
     p_run.set_defaults(fn=_cmd_run)
 
     p_trace = sub.add_parser(
@@ -427,6 +460,13 @@ def build_parser() -> argparse.ArgumentParser:
                          help="seeded uniform random loss probability at the switch")
     p_trace.add_argument("--drop-seed", type=int, default=None, metavar="SEED",
                          help="seed for the random-loss / RED drop streams")
+    p_trace.add_argument("--pdes-workers", type=int, default=None, metavar="K",
+                         help="partition the simulated cluster across K workers "
+                         "under the conservative PDES engine (traces are "
+                         "merged; bit-identical results)")
+    p_trace.add_argument("--pdes-mode", default="fork", choices=("fork", "inline"),
+                         help="PDES partition execution: OS processes (fork, "
+                         "default) or single-process round-robin (inline)")
     p_trace.set_defaults(fn=_cmd_trace)
 
     p_report = sub.add_parser(
@@ -489,6 +529,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="FaultPlan seed for the degradation grid")
     p_sweep.add_argument("--faults-out", default=None, metavar="PATH",
                          help="degradation report path (default BENCH_faults.json)")
+    p_sweep.add_argument("--pdes-workers", type=int, default=None, metavar="K",
+                         help="run full-matrix cells under the conservative "
+                         "PDES engine with K partitions each (separate cache "
+                         "entries; bit-identical simulated results)")
     p_sweep.set_defaults(fn=_cmd_sweep)
 
     p_list = sub.add_parser("list", help="show apps, protocols and tables")

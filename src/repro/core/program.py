@@ -24,7 +24,31 @@ from repro.core.vopp import BaseRuntime, TraditionalRuntime, VoppRuntime
 from repro.net.config import NetConfig, NodeConfig
 from repro.protocols.system import DsmSystem
 
-__all__ = ["BaseSystem", "VoppSystem", "TraditionalSystem", "make_system"]
+__all__ = ["BaseSystem", "VoppSystem", "TraditionalSystem", "PendingRun", "make_system"]
+
+
+class PendingRun:
+    """A spawned-but-not-yet-driven program.
+
+    ``start_program`` spawns the per-rank application processes and returns
+    one of these; whoever drives the simulation (the serial ``run_program``
+    or the PDES window loop, which alternates ``sim.run(until=...)`` with
+    barrier exchanges) calls :meth:`finish` once the event queues drain.
+    """
+
+    def __init__(self, start: float, procs: list, finish_times: list):
+        self.start = start
+        self.procs = procs  # [(rank, Process), ...]
+        self.finish_times = finish_times  # appended by the timed() wrappers
+
+    def finish(self) -> dict:
+        """Verify every spawned process completed; return results by rank."""
+        stuck = [p.name for _, p in self.procs if not p.finished]
+        if stuck:
+            raise RuntimeError(
+                f"workers never finished (deadlock or lost wakeup): {stuck}"
+            )
+        return {rank: p.result for rank, p in self.procs}
 
 
 class BaseSystem:
@@ -40,6 +64,7 @@ class BaseSystem:
         nodecfg: Optional[NodeConfig] = None,
         page_size: Optional[int] = None,
         manager_offset: int = 0,
+        sim=None,
     ):
         self.dsm = DsmSystem(
             nprocs,
@@ -48,6 +73,7 @@ class BaseSystem:
             nodecfg=nodecfg,
             page_size=page_size,
             manager_offset=manager_offset,
+            sim=sim,
         )
         self.arrays: dict[str, SharedArray] = {}
         self.app_output = None  # applications stash their rank-0 read-out here
@@ -98,10 +124,14 @@ class BaseSystem:
     def runtime(self, rank: int) -> BaseRuntime:
         return self.runtime_cls(self, rank)
 
-    def run_program(self, body: Callable[..., Generator], *args, **kwargs) -> list:
-        """Run ``body(rt, *args, **kwargs)`` on every node; return results by rank.
+    def start_program(
+        self, body: Callable[..., Generator], *args, ranks=None, **kwargs
+    ) -> PendingRun:
+        """Spawn ``body(rt, *args, **kwargs)`` for ``ranks`` without running.
 
-        The simulated duration is recorded in ``stats.time``.
+        ``ranks`` defaults to every rank; the PDES driver passes each
+        partition's owned subset (the replica holds all nodes, but only the
+        owned ranks' application processes execute there).
         """
         start = self.sim.now
         finish_times: list[float] = []
@@ -117,20 +147,26 @@ class BaseSystem:
             finish_times.append(self.sim.now)
             return result
 
+        if ranks is None:
+            ranks = range(self.nprocs)
         procs = [
-            self.sim.spawn(timed(rank), name=f"app-{rank}") for rank in range(self.nprocs)
+            (rank, self.sim.spawn(timed(rank), name=f"app-{rank}")) for rank in ranks
         ]
+        return PendingRun(start, procs, finish_times)
+
+    def run_program(self, body: Callable[..., Generator], *args, **kwargs) -> list:
+        """Run ``body(rt, *args, **kwargs)`` on every node; return results by rank.
+
+        The simulated duration is recorded in ``stats.time``.
+        """
+        pending = self.start_program(body, *args, **kwargs)
         self.dsm.run()
-        stuck = [p.name for p in procs if not p.finished]
-        if stuck:
-            raise RuntimeError(
-                f"workers never finished (deadlock or lost wakeup): {stuck}"
-            )
+        results = pending.finish()
         # the run ends when the last application process finishes; the event
         # heap may keep draining cancelled retransmission timers afterwards,
         # which must not count towards the measured time
-        self.stats.time = max(finish_times) - start
-        return [p.result for p in procs]
+        self.dsm.run_time = max(pending.finish_times) - pending.start
+        return [results[rank] for rank in range(self.nprocs)]
 
 
 class VoppSystem(BaseSystem):

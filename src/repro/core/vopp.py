@@ -91,9 +91,10 @@ class VoppRuntime(BaseRuntime):
         touches all of its pages, forcing a full update.
         """
         page_size = self.system.dsm.space.page_size
-        for view_id in sorted(self.system.dsm.view_pages):
+        views = self.system.dsm.views
+        for view_id in views.known_views(self.node.id, self.now):
             yield from self.acquire_Rview(view_id)
-            for pid in sorted(self.system.dsm.view_pages[view_id]):
+            for pid in views.pages_of(view_id, self.node.id, self.now):
                 yield from self.proto.mm.read_bytes(pid * page_size, 1)
             yield from self.release_Rview(view_id)
         return None

@@ -82,7 +82,9 @@ class FaultInjector:
                         f"{ep.kind}: {attr}={v} out of range for a {n}-node cluster"
                     )
         self.sim = cluster.sim
-        self.stats = cluster.stats
+        # mutate the per-node shards (cluster.stats is a merged snapshot);
+        # fault drops are attributed to the sending node
+        self.stats = cluster.node_stats
         cluster.sim.faults = self
         for ep in self._crashes:
             cluster.sim.schedule_at(
@@ -108,7 +110,7 @@ class FaultInjector:
                 and self._rng.random_sample() < ep.drop_prob
             ):
                 self.injected["drop"] += 1
-                self.stats.count_drop("fault")
+                self.stats[src].count_drop("fault")
                 self._observe("drop", msg, now)
                 return None
         extra = 0.0

@@ -228,9 +228,11 @@ class MpiSystem:
         nprocs: int,
         netcfg: Optional[NetConfig] = None,
         nodecfg: Optional[NodeConfig] = None,
+        sim=None,
     ):
-        self.cluster = Cluster(nprocs, netcfg=netcfg, nodecfg=nodecfg)
+        self.cluster = Cluster(nprocs, netcfg=netcfg, nodecfg=nodecfg, sim=sim)
         self.comms = [MpiComm(node, nprocs) for node in self.cluster.nodes]
+        self.app_output = None  # rank 0 stashes the program read-out here
 
     @property
     def nprocs(self) -> int:
@@ -240,7 +242,13 @@ class MpiSystem:
     def stats(self):
         return self.cluster.stats
 
-    def run_program(self, body: Callable[..., Generator], *args, **kwargs) -> list:
+    def start_program(
+        self, body: Callable[..., Generator], *args, ranks=None, **kwargs
+    ):
+        """Spawn ``body(comm, ...)`` for ``ranks`` (default all) without
+        driving the simulation; see :class:`repro.core.program.PendingRun`."""
+        from repro.core.program import PendingRun
+
         start = self.cluster.sim.now
         finish_times: list[float] = []
 
@@ -254,15 +262,19 @@ class MpiSystem:
             finish_times.append(self.cluster.sim.now)
             return result
 
+        if ranks is None:
+            ranks = range(self.nprocs)
         procs = [
-            self.cluster.sim.spawn(timed(comm), name=f"mpi-{comm.rank}")
-            for comm in self.comms
+            (rank, self.cluster.sim.spawn(timed(self.comms[rank]), name=f"mpi-{rank}"))
+            for rank in ranks
         ]
+        return PendingRun(start, procs, finish_times)
+
+    def run_program(self, body: Callable[..., Generator], *args, **kwargs) -> list:
+        pending = self.start_program(body, *args, **kwargs)
         self.cluster.run()
-        stuck = [p.name for p in procs if not p.finished]
-        if stuck:
-            raise RuntimeError(f"MPI ranks never finished: {stuck}")
+        results = pending.finish()
         # measure to the last rank's finish, not to event-heap drain (which
         # includes cancelled retransmission timers)
-        self.time = max(finish_times) - start
-        return [p.result for p in procs]
+        self.time = max(pending.finish_times) - pending.start
+        return [results[rank] for rank in range(self.nprocs)]

@@ -133,13 +133,25 @@ class Cluster:
         self.sim = sim or Simulator()
         self.netcfg = netcfg or NetConfig()
         self.nodecfg = nodecfg or NodeConfig()
-        self.stats = NetStats()
-        self.switch = Switch(self.sim, self.netcfg, self.stats)
+        # one NetStats shard per node: every counter update is node-local,
+        # which is what lets a partitioned (PDES) run reproduce serial
+        # statistics exactly (see repro.net.stats)
+        self.node_stats = [NetStats() for _ in range(n)]
+        self.switch = Switch(self.sim, self.netcfg, self.node_stats)
         self.nodes = [
-            Node(self.sim, i, self.netcfg, self.nodecfg, self.stats) for i in range(n)
+            Node(self.sim, i, self.netcfg, self.nodecfg, self.node_stats[i])
+            for i in range(n)
         ]
         for node in self.nodes:
             self.switch.register(node.nic)
+
+    @property
+    def stats(self) -> NetStats:
+        """Cluster-wide counters: the node shards merged in node order.
+
+        A fresh snapshot per access — mutate the per-node shards, not this.
+        """
+        return NetStats.merged(self.node_stats)
 
     @property
     def n(self) -> int:

@@ -103,6 +103,23 @@ class NetConfig:
             t *= self.backoff_factor
         return tuple(out)
 
+    def lookahead(self) -> float:
+        """Conservative-PDES lookahead bound: the switch forwarding latency.
+
+        Every cross-node interaction goes through the switch, so a message
+        departing a NIC at time t cannot affect any other node before
+        ``t + switch_latency``.  The partitioned driver uses this as the
+        synchronization window width: a window ``[T, T + lookahead())`` can
+        be executed by every partition independently, because no event
+        inside it can generate a cross-partition arrival inside it.
+        """
+        if self.switch_latency <= 0.0:
+            raise ValueError(
+                "PDES needs a positive switch_latency for lookahead; "
+                f"got {self.switch_latency!r}"
+            )
+        return self.switch_latency
+
     def worst_case_retry_window(self) -> float:
         """Longest interval after first receipt during which the sender can
         still retransmit: every timeout at full jitter stretch.  The

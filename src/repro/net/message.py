@@ -56,6 +56,19 @@ class MessageKind(str, Enum):
 _msg_ids = itertools.count(1)
 
 
+def set_msg_id_base(base: int) -> None:
+    """Restart the message-id counter at ``base``.
+
+    The PDES fork driver calls this once in each freshly forked partition
+    process with a disjoint base, so message ids stay globally unique across
+    partitions even though every process has its own counter — duplicate
+    suppression keys on ``(src, msg_id)`` and the trace merge unifies the two
+    sides of a cross-partition message by raw id.  Never call this mid-run.
+    """
+    global _msg_ids
+    _msg_ids = itertools.count(base)
+
+
 @dataclass(slots=True)
 class Message:
     """A single protocol message.

@@ -194,32 +194,55 @@ class Switch:
     The switch adds a fixed forwarding latency and optionally applies seeded
     uniform random loss (off by default; buffer overflow at the receiving NIC
     is the primary loss mechanism).
+
+    Frames for the same destination port arriving at the same instant are
+    delivered through a single *arrival pump* event, in ``(source node,
+    per-source departure number)`` order.  That order is canonical: it
+    depends only on each source's own transmit history, never on how the
+    simulator interleaved *other* nodes' events at the departure instant —
+    which is what lets the partitioned (PDES) driver reproduce serial
+    delivery order exactly when the sources live in different partitions.
+    The pump event carries ordering class 1 (see
+    :meth:`repro.sim.Simulator.schedule_keyed`), sorting after every
+    ordinary event scheduled at the departure instant in both serial and
+    partitioned runs.
     """
 
-    def __init__(self, sim: Simulator, cfg: "NetConfig", stats: "NetStats"):
+    def __init__(self, sim: Simulator, cfg: "NetConfig", node_stats: "list[NetStats]"):
         self.sim = sim
         self.cfg = cfg
-        self.stats = stats
+        # per-node stat shards, indexed by node id; the switch attributes its
+        # drops to the *sending* node, which is always a local node even in a
+        # partitioned run (transfer is invoked by the source NIC)
+        self.node_stats = node_stats
         self.ports: dict[int, Nic] = {}
         self._rng = np.random.RandomState(cfg.drop_seed)
+        # (dst, arrival time) -> [(src, per-src departure seq, msg), ...]
+        self._staged: dict[tuple[int, float], list] = {}
+        self._dep_seq: dict[int, int] = {}
 
     def register(self, nic: Nic) -> None:
         self.ports[nic.node_id] = nic
         nic.attach(self)
 
     def transfer(self, msg: "Message") -> None:
-        if msg.dst not in self.ports:
-            raise KeyError(f"message to unknown node {msg.dst}")
         if self.cfg.random_drop_prob > 0.0 and (
             self._rng.random_sample() < self.cfg.random_drop_prob
         ):
-            self.stats.count_drop("random")
+            self.node_stats[msg.src].count_drop("random")
+            return
+        if msg.dst not in self.ports:
+            self._remote_transfer(msg)
             return
         dst_nic = self.ports[msg.dst]
         faults = self.sim.faults
         if faults is not None:
             # scripted fault episodes: loss, extra latency / bounded
-            # reordering, duplication (see repro.faults.injector)
+            # reordering, duplication (see repro.faults.injector).  Only an
+            # actually *perturbed* delivery bypasses the pump (its arrival
+            # time is the point; fault runs are serial-only) — an unperturbed
+            # verdict falls through to normal staging, so an armed-but-idle
+            # injector changes neither event counts nor delivery order.
             verdict = faults.on_transfer(msg)
             if verdict is None:
                 return  # dropped; the injector counted and traced it
@@ -228,8 +251,46 @@ class Switch:
                 self.sim.schedule(
                     self.cfg.switch_latency + dup, dst_nic.on_arrival, msg.wire_copy()
                 )
-            self.sim.schedule(
-                self.cfg.switch_latency + extra, dst_nic.on_arrival, msg
-            )
-            return
-        self.sim.schedule(self.cfg.switch_latency, dst_nic.on_arrival, msg)
+            if extra > 0.0:
+                self.sim.schedule(
+                    self.cfg.switch_latency + extra, dst_nic.on_arrival, msg
+                )
+                return
+        self._stage(msg, self.sim.now + self.cfg.switch_latency, self.sim.now)
+
+    def _remote_transfer(self, msg: "Message") -> None:
+        """Hook for partitioned switches; the flat switch knows every port."""
+        raise KeyError(f"message to unknown node {msg.dst}")
+
+    def next_departure(self, src: int) -> int:
+        dep = self._dep_seq.get(src, 0)
+        self._dep_seq[src] = dep + 1
+        return dep
+
+    def _stage(self, msg: "Message", t_arr: float, t_dep: float) -> None:
+        """Queue ``msg`` for pumped delivery at ``t_arr``.
+
+        All frames for one ``(dst, t_arr)`` slot left their NICs at the same
+        instant ``t_arr - switch_latency`` (the latency is constant), so the
+        slot's membership is complete before its pump fires.
+        """
+        key = (msg.dst, t_arr)
+        slot = self._staged.get(key)
+        entry = (msg.src, self.next_departure(msg.src), msg)
+        if slot is None:
+            self._staged[key] = [entry]
+            self.sim.schedule_keyed(t_arr, t_dep, 1, self._pump, key)
+        else:
+            slot.append(entry)
+
+    def _pump(self, key: tuple[int, float]) -> None:
+        batch = self._staged.pop(key)
+        if len(batch) > 1:
+            batch.sort(key=_dep_order)
+        on_arrival = self.ports[key[0]].on_arrival
+        for _, _, msg in batch:
+            on_arrival(msg)
+
+
+def _dep_order(entry: tuple) -> tuple[int, int]:
+    return (entry[0], entry[1])

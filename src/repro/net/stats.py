@@ -1,8 +1,14 @@
 """Statistics counters matching the paper's table rows.
 
-One :class:`NetStats` instance is shared by the whole cluster; protocol layers
-add their own counters (diff requests, barrier time, acquire time) through
-:class:`repro.core.stats.RunStats`, which embeds this object.
+Each cluster node accumulates into its **own** :class:`NetStats` shard;
+``Cluster.stats`` merges the shards in node order on demand.  Sharding keeps
+every counter update strictly node-local, so a partitioned (PDES) run — where
+each OS process drives a subset of nodes — produces byte-identical statistics
+to a serial run: the merge order (node 0, 1, 2, ...) fixes the floating-point
+summation order independently of how events interleaved across nodes.
+Protocol layers add their own counters (diff requests, barrier time, acquire
+time) through :class:`repro.protocols.runstats.RunStats`, which embeds the
+merged object.
 """
 
 from __future__ import annotations
@@ -67,6 +73,35 @@ class NetStats:
     def count_drop(self, cause: str = "overflow") -> None:
         self.drops += 1
         self.drops_by_cause[cause] = self.drops_by_cause.get(cause, 0) + 1
+
+    @classmethod
+    def merged(cls, shards) -> "NetStats":
+        """Sum per-node shards (in the order given) into a fresh NetStats.
+
+        Callers must pass shards in node order: dict key insertion order in
+        the result (which reaches JSON reports) then depends only on each
+        node's own history, never on cross-node event interleaving.
+        """
+        out = cls()
+        for s in shards:
+            out.num_msg += s.num_msg
+            out.data_bytes += s.data_bytes
+            out.acks += s.acks
+            out.rexmit += s.rexmit
+            out.rexmit_bytes += s.rexmit_bytes
+            out.drops += s.drops
+            for k, v in s.by_kind.items():
+                rec = out.by_kind.get(k)
+                if rec is None:
+                    out.by_kind[k] = [v[0], v[1]]
+                else:
+                    rec[0] += v[0]
+                    rec[1] += v[1]
+            for k, n in s.drops_by_cause.items():
+                out.drops_by_cause[k] = out.drops_by_cause.get(k, 0) + n
+            for k, n in s.rexmit_by_kind.items():
+                out.rexmit_by_kind[k] = out.rexmit_by_kind.get(k, 0) + n
+        return out
 
     def snapshot(self) -> dict:
         """Plain-dict copy for reporting."""

@@ -112,8 +112,12 @@ class Transport:
         self.stats = stats
         self._ack_events: dict[int, Event] = {}
         self._pending_replies: dict[int, Event] = {}
-        # id -> simulated time of first receipt; insertion order == time order
-        self._seen_reliable: dict[int, float] = {}
+        # (src, id) -> simulated time of first receipt; insertion order ==
+        # time order.  Keyed by source as well as id: message ids are only
+        # unique per sender (each PDES partition allocates from its own
+        # counter), so a bare-id table could suppress a fresh message that
+        # happened to share an id with an earlier one from another node.
+        self._seen_reliable: dict[tuple[int, int], float] = {}
         # (src, req_id) -> (time cached, reply); insertion order == time order
         self._reply_cache: dict[tuple[int, int], tuple[float, Message]] = {}
         self._requests_in_progress: set[tuple[int, int]] = set()
@@ -284,10 +288,10 @@ class Transport:
             self.stats.count_ack()
             self.post(ack)
             seen = self._seen_reliable
-            if msg.msg_id in seen:
+            if (msg.src, msg.msg_id) in seen:
                 return None  # duplicate of an already-delivered reliable send
             now = self.sim.now
-            seen[msg.msg_id] = now
+            seen[(msg.src, msg.msg_id)] = now
             self._evict_expired(now)
             return msg
         if msg.is_reply:

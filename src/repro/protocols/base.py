@@ -65,7 +65,7 @@ class BaseDsmProtocol:
         self.node = node
         self.mm = MemoryManager(node, system.space)
         self.mm.fault_handler = self
-        self.stats = system.stats
+        self.stats = system.stats_for(node.id)
         self.directory = system.directory
         # interval machinery
         self.interval_seq = 0  # index of the last *completed* own interval
@@ -115,9 +115,10 @@ class BaseDsmProtocol:
         self.interval_seq += 1
         self.lamport += 1
         idx = self.interval_seq
+        now = self.node.sim.now
         for pid, diffs in pages.items():
             self.diff_store[(pid, idx)] = diffs
-            self.directory.note_writer(pid, self.node.id)
+            self.directory.note_writer(pid, self.node.id, now)
         notice = IntervalNotice(
             node=self.node.id,
             idx=idx,
@@ -189,7 +190,7 @@ class BaseDsmProtocol:
                 # twin creation copies the page
                 yield from self.node.copy_cost(self.system.space.page_size)
                 self.mm.start_writing(pid)
-                self.directory.claim_origin(pid, self.node.id)
+                self.directory.claim_origin(pid, self.node.id, self.node.sim.now)
         if tracer is not None:
             tracer.end(self.node.id, "app", "page-fault", self.node.sim.now)
 
@@ -233,10 +234,11 @@ class BaseDsmProtocol:
 
     def _fetch_base_copy(self, pid: int) -> Generator:
         """First touch: zero-fill if nobody has the page, else fetch it."""
-        src = self.directory.fetch_source(pid, self.node.id)
+        now = self.node.sim.now
+        src = self.directory.fetch_source(pid, self.node.id, now)
         if src is None:
             self.mm.zero_fill(pid)
-            self.directory.claim_origin(pid, self.node.id)
+            self.directory.claim_origin(pid, self.node.id, now)
             return
         reply = yield from self.node.request(
             src, MessageKind.PAGE_REQUEST, pid, size=CTRL_MSG_BYTES

@@ -70,7 +70,10 @@ class HlrcProtocol(LrcProtocol):
         """The page's home node, or None if the page does not exist yet."""
         if self.home_policy == "round_robin":
             return pid % self.nprocs
-        return self.directory.origin(pid)
+        # instantaneous read: all nodes must agree on a page's home from the
+        # moment it exists, or eager pushes go astray (serial-only; the PDES
+        # driver refuses hlrc_d)
+        return self.directory.origin_any(pid)
 
     # -- writer side: eager diff propagation -----------------------------------------
 
@@ -129,7 +132,7 @@ class HlrcProtocol(LrcProtocol):
         if home is None:
             # first touch anywhere: create the page locally and become home
             self.mm.zero_fill(pid)
-            self.directory.claim_origin(pid, self.node.id)
+            self.directory.claim_origin(pid, self.node.id, self.node.sim.now)
             self._applied.setdefault(pid, set())
             return
         if home == self.node.id:

@@ -281,7 +281,6 @@ class LrcProtocol(BaseDsmProtocol):
                 {"node": self.node.id, "vc": self.vc.copy(), "notices": [], "gen": gen}
             )
         else:
-            manager = self.peer(self.BARRIER_MANAGER)
             notices = self._unshipped_for_manager(self.BARRIER_MANAGER)
             yield from self.node.send_reliable(
                 self.BARRIER_MANAGER,

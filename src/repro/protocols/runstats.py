@@ -1,7 +1,11 @@
 """Run statistics matching the rows of the paper's tables.
 
-One :class:`RunStats` per simulated run.  The rows it reproduces (Tables 1,
-2, 4, 6, 8):
+Each rank records into its **own** :class:`RunStats` shard (``net=None``);
+``DsmSystem.stats`` merges the shards in rank order, attaching the merged
+network counters.  Rank-order merging fixes the floating-point summation
+order of the time accumulators independently of cross-node event
+interleaving, so a partitioned (PDES) run reproduces serial statistics
+exactly.  The rows reproduced (Tables 1, 2, 4, 6, 8):
 
 ======================  =============================================
 Row                     Source
@@ -30,9 +34,9 @@ __all__ = ["RunStats"]
 
 @dataclass
 class RunStats:
-    """Protocol + network counters for one run."""
+    """Protocol + network counters for one run (or one rank's shard)."""
 
-    net: NetStats
+    net: Optional[NetStats] = None
     barriers: int = 0
     acquires: int = 0
     diff_requests: int = 0
@@ -60,6 +64,22 @@ class RunStats:
     def add_acquire_time(self, seconds: float) -> None:
         self.acquire_time_sum += seconds
         self.acquire_time_n += 1
+
+    # -- merging -----------------------------------------------------------------
+
+    @classmethod
+    def merged(cls, shards, net: Optional[NetStats] = None) -> "RunStats":
+        """Sum per-rank shards (in the order given) into a fresh RunStats."""
+        out = cls(net=net)
+        for s in shards:
+            out.barriers += s.barriers
+            out.acquires += s.acquires
+            out.diff_requests += s.diff_requests
+            out.barrier_time_sum += s.barrier_time_sum
+            out.barrier_time_n += s.barrier_time_n
+            out.acquire_time_sum += s.acquire_time_sum
+            out.acquire_time_n += s.acquire_time_n
+        return out
 
     # -- derived ----------------------------------------------------------------
 

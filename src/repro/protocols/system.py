@@ -16,6 +16,7 @@ from repro.net.config import NetConfig, NodeConfig
 from repro.protocols.base import BaseDsmProtocol
 from repro.protocols.directory import PageDirectory
 from repro.protocols.runstats import RunStats
+from repro.protocols.versioned import ViewRegistry
 
 __all__ = ["DsmSystem"]
 
@@ -41,6 +42,7 @@ class DsmSystem:
         nodecfg: Optional[NodeConfig] = None,
         page_size: Optional[int] = None,
         manager_offset: int = 0,
+        sim=None,
     ):
         if isinstance(protocol, str):
             from repro.protocols import PROTOCOLS
@@ -53,17 +55,22 @@ class DsmSystem:
                     f"{sorted(PROTOCOLS)}"
                 ) from None
         self.protocol_cls = protocol
-        self.cluster = Cluster(nprocs, netcfg=netcfg, nodecfg=nodecfg)
+        self.cluster = Cluster(nprocs, netcfg=netcfg, nodecfg=nodecfg, sim=sim)
         if page_size is None:
             page_size = self.cluster.nodecfg.page_size
         self.space = AddressSpace(page_size=page_size)
-        self.directory = PageDirectory()
-        self.stats = RunStats(net=self.cluster.stats)
+        # shared oracles (directory + view metadata) read through the
+        # lookahead-visibility rule, so serial and partitioned runs see
+        # identical metadata (see repro.protocols.versioned)
+        lam = self.cluster.netcfg.switch_latency
+        self.directory = PageDirectory(lookahead=lam)
         # view metadata shared across nodes (discovered dynamically; a real
         # implementation distributes this through the view managers — here it
         # is zero-cost routing metadata, like the page directory)
-        self.view_pages: dict[int, set[int]] = {}
-        self.page_view: dict[int, int] = {}
+        self.views = ViewRegistry(lookahead=lam)
+        # per-rank statistics shards; merged on demand by the stats property
+        self._rank_stats = [RunStats() for _ in range(nprocs)]
+        self.run_time = 0.0
         # manager placement: 0 co-locates view v's manager with node v%n
         # (per-processor views get owner-local managers); the ablation
         # benches shift it to measure the cost of remote managers
@@ -73,6 +80,19 @@ class DsmSystem:
         self.protocols: list[BaseDsmProtocol] = [
             protocol(self, node) for node in self.cluster.nodes
         ]
+
+    @property
+    def stats(self) -> RunStats:
+        """Run statistics: the per-rank shards merged in rank order, with the
+        merged network counters attached.  A fresh snapshot per access —
+        record into ``stats_for(rank)``, not into this."""
+        merged = RunStats.merged(self._rank_stats, net=self.cluster.stats)
+        merged.time = self.run_time
+        return merged
+
+    def stats_for(self, rank: int) -> RunStats:
+        """The mutable statistics shard of one rank."""
+        return self._rank_stats[rank]
 
     @property
     def nprocs(self) -> int:
@@ -96,5 +116,5 @@ class DsmSystem:
 
     def run(self, until: Optional[float] = None) -> float:
         final = self.cluster.run(until=until)
-        self.stats.time = final
+        self.run_time = final
         return final

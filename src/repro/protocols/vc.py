@@ -93,8 +93,10 @@ class VcProtocol(BaseDsmProtocol):
                 f"node {self.node.id}: write to shared memory without holding an "
                 "exclusive view (VOPP requires acquire_view before writes)"
             )
+        views = self.system.views
+        now = self.node.sim.now
         for pid in pids:
-            bound = self.system.page_view.get(pid)
+            bound = views.view_of(pid, self.node.id, now)
             if bound is not None and bound != self.held_excl:
                 raise ViewOverlapError(
                     f"node {self.node.id}: page {pid} belongs to view {bound} but "
@@ -109,8 +111,10 @@ class VcProtocol(BaseDsmProtocol):
             raise VoppDisciplineError(
                 f"node {self.node.id}: read of shared memory without holding any view"
             )
+        views = self.system.views
+        now = self.node.sim.now
         for pid in pids:
-            bound = self.system.page_view.get(pid)
+            bound = views.view_of(pid, self.node.id, now)
             if bound is not None and bound not in held:
                 raise VoppDisciplineError(
                     f"node {self.node.id}: page {pid} belongs to view {bound}, which "
@@ -233,16 +237,10 @@ class VcProtocol(BaseDsmProtocol):
         return None, 0
 
     def _bind_pages(self, view_id: int, pages: tuple[int, ...]) -> None:
+        views = self.system.views
+        now = self.node.sim.now
         for pid in pages:
-            bound = self.system.page_view.get(pid)
-            if bound is None:
-                self.system.page_view[pid] = view_id
-                self.system.view_pages.setdefault(view_id, set()).add(pid)
-            elif bound != view_id:
-                raise ViewOverlapError(
-                    f"page {pid} already belongs to view {bound}, cannot bind to "
-                    f"view {view_id}"
-                )
+            views.bind(pid, view_id, self.node.id, now)
 
     # -- manager side ---------------------------------------------------------------------
 

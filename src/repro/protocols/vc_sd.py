@@ -137,7 +137,10 @@ class VcSdProtocol(VcProtocol):
         full_pages: dict[int, bytes] = {}
         diffs: dict[int, list[Diff]] = {}
         page_size = self.system.space.page_size
-        for pid in sorted(self.system.view_pages.get(state.view_id, ())):
+        bound = self.system.views.pages_of(
+            state.view_id, self.node.id, self.node.sim.now
+        )
+        for pid in bound:
             master = store.master.get(pid)
             if master is None:
                 continue  # bound page with no content yet (cannot happen in practice)

@@ -3,9 +3,18 @@
 The design follows the classic process-interaction style (SimPy-like) but is
 deliberately small, allocation-light and fully deterministic:
 
-* the event queue is a binary heap keyed by ``(time, seq)`` where ``seq`` is a
-  global monotonically increasing counter — simultaneous events run in the
-  order they were scheduled;
+* the event queue is a binary heap keyed by ``(time, tsched, cls, seq)``:
+  ``tsched`` is the simulated instant the event was *scheduled* at, ``cls``
+  is an ordering class (0 for ordinary events, 1 for network arrival pumps,
+  which must sort after every ordinary event scheduled at the same instant),
+  and ``seq`` is a per-simulator monotonically increasing counter.  For
+  ordinary events ``tsched``/``cls`` never reorder anything relative to the
+  historical ``(time, seq)`` key — ``seq`` is allocated in scheduling order
+  and simulated time never decreases, so ``seq`` order refines ``tsched``
+  order — but they give events injected by the parallel (PDES) driver a
+  *reconstructible* position: a cross-partition arrival can be inserted with
+  the same ``(time, tsched, cls)`` prefix it would have carried in a serial
+  run, making serial and partitioned executions order events identically;
 * zero-delay wake-ups (the majority of all events: channel hand-offs,
   semaphore grants, ``Timeout(0)`` yields) bypass the heap entirely and go
   through a plain FIFO *ready deque*.  Because the sequence counter is
@@ -153,12 +162,13 @@ class Process:
         "_throw",
     )
 
-    _ids = itertools.count()
-
     def __init__(self, sim: "Simulator", gen: Generator, name: str = ""):
         self.sim = sim
         self.gen = gen
-        self.pid = next(Process._ids)
+        # pids are simulator-local: a class-global counter would make pids
+        # (and therefore traces, breakdowns and report fingerprints) depend
+        # on how many Simulators ran earlier in the same OS process
+        self.pid = next(sim._pids)
         self.name = name or f"proc-{self.pid}"
         self.finished = False
         self.result: Any = None
@@ -269,9 +279,18 @@ class Simulator:
 
     ``events_processed`` counts every executed callback (the perf harness
     divides it by wall-clock seconds to get events/sec).
+
+    ``queue="calendar"`` swaps the binary heap for the array-friendly
+    calendar/bucket queue from :mod:`repro.sim.calendar`; execution order is
+    identical (property-tested), only the data structure changes.  The
+    partitioned PDES driver uses calendar-queue simulators.
     """
 
-    def __init__(self) -> None:
+    #: maximum number of distinct-delay timer FIFO lanes before
+    #: :meth:`schedule_timer` falls back to the main event queue
+    MAX_TIMER_LANES = 12
+
+    def __init__(self, queue: str = "heap") -> None:
         self.now: float = 0.0
         self.events_processed: int = 0
         # optional repro.obs.EventTracer; None (the default) is the
@@ -285,10 +304,29 @@ class Simulator:
         # every hook site (switch, NIC, Node.compute) guards on this before
         # doing any work, so no plan installed means no behaviour change
         self.faults = None
-        self._heap: list[tuple[float, int, Callable, tuple]] = []
-        self._timers: deque[tuple[float, int, Callable, tuple]] = deque()
+        # main event queue: entries are (t, tsched, cls, seq, fn, args)
+        if queue == "heap":
+            self._heap: Any = []
+            self._qpush = heapq.heappush
+            self._qpop = heapq.heappop
+        elif queue == "calendar":
+            from repro.sim.calendar import CalendarQueue
+
+            self._heap = CalendarQueue()
+            self._qpush = CalendarQueue.push
+            self._qpop = CalendarQueue.pop
+        else:
+            raise SimError(f"unknown event queue kind {queue!r}")
+        self.queue_kind = queue
+        # timer lanes: one FIFO deque per distinct delay value (deadlines
+        # within a lane are non-decreasing because `now` is), merged through
+        # a small heap of lane heads; see schedule_timer
+        self._timer_lanes: dict[float, deque] = {}
+        self._timer_heads: list[tuple] = []
+        self.timer_spills: int = 0
         self._ready: deque[tuple[Callable, tuple]] = deque()
         self._seq = itertools.count()
+        self._pids = itertools.count()
         self._live_processes = 0
         self._failures: list[tuple[Process, BaseException]] = []
         self._running = False
@@ -308,7 +346,7 @@ class Simulator:
         if t <= self.now:
             self._ready.append((fn, args))
         else:
-            heapq.heappush(self._heap, (t, next(self._seq), fn, args))
+            self._qpush(self._heap, (t, self.now, 0, next(self._seq), fn, args))
 
     def call_soon(self, fn: Callable, *args: Any) -> None:
         """Zero-delay fast path: exactly ``schedule(0.0, fn, *args)``.
@@ -330,20 +368,47 @@ class Simulator:
         if t <= self.now:
             self._ready.append((fn, args))
         else:
-            heapq.heappush(self._heap, (t, next(self._seq), fn, args))
+            self._qpush(self._heap, (t, self.now, 0, next(self._seq), fn, args))
+
+    def schedule_keyed(self, t: float, tsched: float, cls: int,
+                       fn: Callable, *args: Any) -> None:
+        """Schedule at absolute time ``t`` with an explicit ordering key.
+
+        Used by the network switch's arrival pump (and the PDES driver when
+        it re-injects cross-partition arrivals): the caller supplies the
+        ``(tsched, cls)`` prefix the event must sort under so that a
+        partitioned run reconstructs the exact serial position.  Always goes
+        through the main event queue, even for ``t == now`` — ready-deque
+        entries sort *after* all queue entries at the current instant, which
+        is wrong for an event whose logical scheduling instant lies in the
+        past.
+        """
+        if t < self.now:
+            raise SimError(f"cannot schedule in the past (t={t!r} < now={self.now!r})")
+        self._qpush(self._heap, (t, tsched, cls, next(self._seq), fn, args))
 
     def schedule_timer(self, delay: float, fn: Callable, *args: Any) -> None:
-        """Heap-free lane for timeout guards that usually never fire.
+        """Heap-free lanes for timeout guards that usually never fire.
 
-        Retransmission timeouts share one constant delay, so their deadlines
-        arrive in non-decreasing order and a plain FIFO holds them in sorted
-        order with O(1) insertion — and, crucially, the tens of thousands of
-        *cancelled* timers awaiting their (dropped) wake-up no longer bloat
-        the heap and tax every push/pop with their log-factor.  Entries draw
-        sequence numbers from the same counter as the heap and the run loop
-        merges both lanes by ``(time, seq)``, so execution order is exactly
-        the single-heap order.  An out-of-order deadline (different delay)
-        falls back to the heap.
+        Timers with the *same* delay have non-decreasing deadlines (``now``
+        never decreases), so a plain FIFO per distinct delay value holds
+        them sorted with O(1) insertion — and, crucially, the tens of
+        thousands of *cancelled* timers awaiting their (dropped) wake-up no
+        longer bloat the main queue and tax every push/pop with their
+        log-factor.  A small heap of lane heads merges the lanes; entries
+        draw sequence numbers from the same counter as the main queue and
+        the run loop merges all lanes by the full ``(time, tsched, cls,
+        seq)`` key, so execution order is exactly the single-queue order
+        (property-tested in ``tests/sim/test_engine.py``).
+
+        The pre-backoff implementation kept *one* FIFO and pushed any
+        out-of-order deadline to the main heap.  With PR 5's exponential
+        backoff the delays became variable, and a single long backed-off
+        timer at the lane tail silently rerouted every subsequent
+        shorter-delay timer — including the constant-delay fast path —
+        into the heap.  Per-delay lanes keep each delay class O(1); only
+        runs juggling more than :attr:`MAX_TIMER_LANES` distinct live delay
+        values ever spill (counted in :attr:`timer_spills`).
         """
         if delay < 0:
             raise SimError(f"cannot schedule in the past (delay={delay!r})")
@@ -351,11 +416,32 @@ class Simulator:
         if t <= self.now:
             self._ready.append((fn, args))
             return
-        timers = self._timers
-        if timers and t < timers[-1][0]:
-            heapq.heappush(self._heap, (t, next(self._seq), fn, args))
+        lanes = self._timer_lanes
+        lane = lanes.get(delay)
+        entry = (t, self.now, 0, next(self._seq), fn, args)
+        if lane is not None:
+            # lane head is already registered in _timer_heads
+            lane.append(entry)
+        elif len(lanes) < self.MAX_TIMER_LANES:
+            lanes[delay] = deque((entry,))
+            heapq.heappush(self._timer_heads, entry + (delay,))
         else:
-            timers.append((t, next(self._seq), fn, args))
+            self.timer_spills += 1
+            self._qpush(self._heap, entry)
+
+    def _pop_timer(self) -> tuple:
+        """Pop the earliest timer entry across all lanes."""
+        heads = self._timer_heads
+        entry = heapq.heappop(heads)
+        delay = entry[-1]
+        lanes = self._timer_lanes
+        lane = lanes[delay]
+        lane.popleft()
+        if lane:
+            heapq.heappush(heads, lane[0] + (delay,))
+        else:
+            del lanes[delay]
+        return entry
 
     def spawn(self, gen: Generator, name: str = "") -> Process:
         """Create a process from a generator and make it runnable now."""
@@ -377,66 +463,78 @@ class Simulator:
 
     # -- execution -----------------------------------------------------------
 
-    def run(self, until: Optional[float] = None) -> float:
+    def run(self, until: Optional[float] = None, inclusive: bool = True) -> float:
         """Process events until the queues drain (or ``until`` is reached).
 
         Returns the final simulated time.  If any process died with an
         exception the first such exception is re-raised (with the remaining
         failures attached as ``__notes__``-style context in its args).
+
+        ``until`` boundary contract (the PDES outer loop calls this
+        repeatedly, so the semantics are load-bearing):
+
+        * ``until`` in the past (``until < self.now``) raises
+          :class:`SimError` — the clock never moves backwards;
+        * with ``inclusive=True`` (default) events scheduled *exactly at*
+          ``until`` execute before the break; with ``inclusive=False`` they
+          stay queued (the PDES window ``[T, W)`` is half-open);
+        * ready-deque entries (zero-delay work at the current instant) are
+          always drained before the clock can advance, so none are pending
+          at the break;
+        * if the queues drain before ``until``, the clock still advances to
+          ``until`` — repeated ``run(until=...)`` calls observe a monotone
+          ``self.now`` whether or not events existed in each window.
         """
         if self._running:
             raise SimError("Simulator.run() is not reentrant")
+        if until is not None and until < self.now:
+            raise SimError(
+                f"run(until={until!r}) is in the past (now={self.now!r})"
+            )
         self._running = True
         heap = self._heap
-        timers = self._timers
+        theads = self._timer_heads
         ready = self._ready
-        pop = heapq.heappop
+        pop = self._qpop
         popleft = ready.popleft
-        tpopleft = timers.popleft
+        pop_timer = self._pop_timer
         failures = self._failures
         now = self.now
         count = self.events_processed
         try:
-            while heap or ready or timers:
-                # heap/timer entries at the current instant predate (smaller
+            while heap or ready or theads:
+                # queue/timer entries at the current instant predate (smaller
                 # seq) everything on the ready deque — run them first, merged
-                # by (time, seq) so the two lanes behave as one queue
+                # by (time, tsched, cls, seq) so all lanes behave as one queue
                 if heap and heap[0][0] <= now:
                     h0 = heap[0]
-                    if timers:
-                        t0 = timers[0]
-                        if t0[0] < h0[0] or (t0[0] == h0[0] and t0[1] < h0[1]):
-                            _, _, fn, args = tpopleft()
-                        else:
-                            _, _, fn, args = pop(heap)
+                    if theads and theads[0] < h0:
+                        _, _, _, _, fn, args, _ = pop_timer()
                     else:
-                        _, _, fn, args = pop(heap)
-                elif timers and timers[0][0] <= now:
-                    _, _, fn, args = tpopleft()
+                        _, _, _, _, fn, args = pop(heap)
+                elif theads and theads[0][0] <= now:
+                    _, _, _, _, fn, args, _ = pop_timer()
                 elif ready:
                     fn, args = popleft()
                 else:
                     if not heap:
-                        t0 = timers[0]
                         from_timer = True
-                        t = t0[0]
-                    elif timers:
-                        t0 = timers[0]
-                        h0 = heap[0]
-                        from_timer = t0[0] < h0[0] or (
-                            t0[0] == h0[0] and t0[1] < h0[1]
-                        )
-                        t = t0[0] if from_timer else h0[0]
+                        t = theads[0][0]
+                    elif theads and theads[0] < heap[0]:
+                        from_timer = True
+                        t = theads[0][0]
                     else:
                         from_timer = False
                         t = heap[0][0]
-                    if until is not None and t > until:
-                        self.now = until
+                    if until is not None and (t > until or (
+                            not inclusive and t >= until)):
+                        if until > now:
+                            self.now = until
                         break
                     if from_timer:
-                        _, _, fn, args = tpopleft()
+                        _, _, _, _, fn, args, _ = pop_timer()
                     else:
-                        _, _, fn, args = pop(heap)
+                        _, _, _, _, fn, args = pop(heap)
                     self.now = now = t
                 count += 1
                 fn(*args)
@@ -445,10 +543,30 @@ class Simulator:
                     raise SimError(
                         f"process {proc.name!r} died at t={self.now:.6f}"
                     ) from err
+            else:
+                # queues drained: the clock still runs out the window
+                if until is not None and until > now:
+                    self.now = until
         finally:
             self._running = False
             self.events_processed = count
         return self.now
+
+    def peek_next_time(self) -> float:
+        """Earliest pending event time across all lanes (``inf`` if idle).
+
+        Ready-deque entries run at the current instant, so a non-empty
+        ready deque reports ``now``.  The PDES driver uses this to compute
+        the global lower bound T for the next synchronization window.
+        """
+        if self._ready:
+            return self.now
+        t = float("inf")
+        if self._heap:
+            t = self._heap[0][0]
+        if self._timer_heads and self._timer_heads[0][0] < t:
+            t = self._timer_heads[0][0]
+        return t
 
     def _record_failure(self, proc: Process, error: BaseException) -> None:
         self._failures.append((proc, error))

@@ -1,0 +1,558 @@
+"""Conservative windowed parallel discrete-event execution (PDES).
+
+The serial engine processes one global event queue.  This driver partitions
+the *simulated nodes* across OS processes and advances them in lock-step
+windows, exploiting the switch's fixed forwarding latency λ as lookahead —
+the classical conservative null-message/window scheme (Chandy–Misra–Bryant
+family), specialised to a star topology where every cross-node interaction
+takes at least λ.
+
+Architecture
+------------
+
+* Ranks are split into contiguous blocks, one per partition.  Each partition
+  builds a **full replica** of the simulated system — all ``n`` nodes, the
+  same allocations, the same t=0 construction order — but spawns application
+  processes only for its owned ranks; foreign nodes' dispatcher daemons park
+  on their mailboxes forever.  Replication is what keeps every sequence
+  number, RNG stream and data structure bit-identical to the serial run.
+* The replica's switch is a :class:`PartitionSwitch`: frames for co-resident
+  destinations take the normal staged arrival pump; frames for foreign
+  destinations go to an **outbox** carrying their canonical ordering
+  coordinates ``(dst, t_arrival, t_departure, src, departure#)``.
+* Execution alternates windows and barriers.  At each barrier the
+  coordinator collects every partition's outbox, next-event time and shared
+  oracle deltas (page directory + view registry mutations, see
+  :mod:`repro.protocols.versioned`), routes frames to the destination
+  partitions, and computes ``T = min`` next-event time over partitions and
+  in-flight frames.  Each partition then injects its inbound frames, applies
+  the foreign oracle deltas, and runs ``sim.run(until=T + λ,
+  inclusive=False)`` — the half-open window ``[T, T+λ)``.
+
+Why this is exact (not just approximately synchronised):
+
+* **No missed events.**  An event executing at ``t ∈ [T, T+λ)`` can affect
+  another partition only through a frame arriving at ``t + λ ≥ T + λ`` —
+  outside the window.  Frames collected at the barrier all arrive inside the
+  *next* window (``t_arr ∈ [W, W+λ)`` with the next ``T' ≥ W``), so they are
+  injected before any event that could observe them.
+* **Identical delivery order.**  Same-instant frames to one port are
+  delivered by the switch's arrival pump in ``(src, departure#)`` order, and
+  the pump event carries the explicit ``(t_sched, class)`` key via
+  :meth:`repro.sim.Simulator.schedule_keyed` — both independent of which
+  partition the frames came from, so injection rebuilds the exact serial
+  pump slot.
+* **Identical metadata reads.**  The shared oracles are read under the
+  λ-visibility rule in serial runs too, and a partition executing ``[T,
+  T+λ)`` already holds every foreign mutation the rule can select (all have
+  ``t < T``; shipped at an earlier barrier).
+* **Identical statistics.**  Every counter lives in a per-node shard
+  (:mod:`repro.net.stats`, :mod:`repro.protocols.runstats`); merging the
+  owned shards in node order reproduces the serial float-summation order.
+
+What the driver refuses (``PdesError``): fault plans and ``random_drop_prob``
+(perturbed arrivals bypass the pump by design), contention metrics and view
+tracers (instantaneous global observers), and ``hlrc_d`` (its home assignment
+needs an instantaneous directory read — see
+:meth:`repro.protocols.directory.PageDirectory.origin_any`).
+
+``mode="fork"`` runs each partition in a forked OS process (pipes carry the
+barrier traffic); ``mode="inline"`` runs all partitions in-process — same
+window protocol, no parallelism — which is what the conformance tests use.
+
+This module is deliberately *not* imported from ``repro.sim.__init__`` — it
+imports the network and application layers, which import ``repro.sim``.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import traceback
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from repro.net.nic import Switch
+from repro.sim.engine import SimError, Simulator
+
+__all__ = [
+    "PdesError",
+    "PartitionSwitch",
+    "PartitionWorld",
+    "PdesOutcome",
+    "partition_ranks",
+    "run_partitioned",
+]
+
+#: raw message-id stride between forked partitions (each process has its own
+#: counter; disjoint bases keep ids globally unique, see
+#: :func:`repro.net.message.set_msg_id_base`)
+MSG_ID_STRIDE = 1 << 48
+
+
+class PdesError(SimError):
+    """The requested run cannot be executed by the partitioned driver."""
+
+
+def partition_ranks(nprocs: int, workers: int) -> list[range]:
+    """Contiguous block decomposition of ``range(nprocs)`` into partitions.
+
+    ``workers`` is clamped to ``nprocs`` so every partition owns at least one
+    rank.  Contiguity puts rank 0 in partition 0, which is where application
+    outputs are collected.
+    """
+    if workers < 1:
+        raise PdesError(f"need at least one partition, got {workers}")
+    workers = min(workers, nprocs)
+    base, extra = divmod(nprocs, workers)
+    out, lo = [], 0
+    for p in range(workers):
+        hi = lo + base + (1 if p < extra else 0)
+        out.append(range(lo, hi))
+        lo = hi
+    return out
+
+
+# -- the partitioned switch -------------------------------------------------------
+
+
+def _make_partition_switch(cluster, owned):
+    """Replace ``cluster.switch`` with a :class:`PartitionSwitch`.
+
+    Done post-construction (rather than threading a parameter through every
+    layer) so partition replicas are built by the exact same code path as
+    serial systems; the swap happens at t=0 before any traffic.
+    """
+    switch = PartitionSwitch(cluster.sim, cluster.netcfg, cluster.node_stats, owned)
+    for node in cluster.nodes:
+        switch.register(node.nic)
+    cluster.switch = switch
+    return switch
+
+
+class PartitionSwitch(Switch):
+    """A switch owning a subset of the ports, with an outbox for the rest.
+
+    The per-source departure counter is inherited from :class:`Switch` and
+    advanced for *every* frame a source transmits — foreign-destination
+    frames included — so the ``(src, departure#)`` coordinates recorded in
+    the outbox equal the serial ones: a source's frames all depart from its
+    home partition's switch, in the source's own transmit order.
+    """
+
+    def __init__(self, sim, cfg, node_stats, owned):
+        super().__init__(sim, cfg, node_stats)
+        self.owned = frozenset(owned)
+        #: frames awaiting the next window barrier:
+        #: ``(dst, t_arrival, t_departure, src, departure#, msg)``
+        self.outbox: list[tuple] = []
+
+    def transfer(self, msg) -> None:
+        if msg.dst in self.owned:
+            super().transfer(msg)
+            return
+        now = self.sim.now
+        self.outbox.append(
+            (msg.dst, now + self.cfg.switch_latency, now,
+             msg.src, self.next_departure(msg.src), msg)
+        )
+
+    def take_outbox(self) -> list[tuple]:
+        out, self.outbox = self.outbox, []
+        return out
+
+    def inject(self, frames) -> None:
+        """Stage cross-partition arrivals handed over at a window barrier.
+
+        Rebuilds the serial pump slot: a frame joins the ``(dst, t_arr)``
+        slot if a co-resident sender already created it (same arrival
+        instant ⇒ same departure instant, λ being constant), otherwise the
+        pump event is scheduled with the frame's *departure* time as its
+        ordering key — exactly what the serial switch would have used.
+        Injected arrival times always lie in the window about to run, so an
+        injected slot can never collide with one staged in a later window.
+        """
+        for dst, t_arr, t_dep, src, dep, msg in frames:
+            key = (dst, t_arr)
+            slot = self._staged.get(key)
+            entry = (src, dep, msg)
+            if slot is None:
+                self._staged[key] = [entry]
+                self.sim.schedule_keyed(t_arr, t_dep, 1, self._pump, key)
+            else:
+                slot.append(entry)
+
+
+# -- one partition's world --------------------------------------------------------
+
+
+@dataclass
+class PartitionResult:
+    """What one partition reports after the last window."""
+
+    index: int
+    owned: list
+    finish_times: list
+    results: dict  # rank -> program return value
+    rank_stats: Optional[dict]  # rank -> RunStats shard (DSM) or None (MPI)
+    node_stats: dict  # node -> NetStats shard
+    events: int
+    timer_spills: int
+    output: Any  # extract() read-out (only from the partition owning rank 0)
+    tracer: Any  # per-partition EventTracer, or None
+
+
+class PartitionWorld:
+    """One partition: a full system replica plus its window-protocol hooks."""
+
+    def __init__(self, index, owned, sim, cluster, switch, oracles, pending,
+                 extract_fn, rank_stats_fn):
+        self.index = index
+        self.owned = list(owned)
+        self.sim = sim
+        self.cluster = cluster
+        self.switch = switch
+        self.oracles = oracles
+        self.pending = pending
+        self._extract = extract_fn
+        self._rank_stats = rank_stats_fn
+
+    def report(self) -> tuple:
+        """Barrier upload: (next event time, outbox, oracle deltas, events)."""
+        return (
+            self.sim.peek_next_time(),
+            self.switch.take_outbox(),
+            [o.drain_deltas() for o in self.oracles],
+            self.sim.events_processed,
+        )
+
+    def advance(self, window_end: float, frames, foreign_deltas) -> None:
+        """Barrier download + one window: inject, apply, run ``[now, W)``."""
+        self.switch.inject(frames)
+        for deltas in foreign_deltas:
+            for oracle, d in zip(self.oracles, deltas):
+                oracle.apply_deltas(d)
+        self.sim.run(until=window_end, inclusive=False)
+
+    def finalize(self, want_output: bool) -> PartitionResult:
+        results = self.pending.finish()
+        rank_stats = None
+        if self._rank_stats is not None:
+            rank_stats = {r: self._rank_stats(r) for r in self.owned}
+        return PartitionResult(
+            index=self.index,
+            owned=self.owned,
+            finish_times=list(self.pending.finish_times),
+            results=results,
+            rank_stats=rank_stats,
+            node_stats={i: self.cluster.node_stats[i] for i in self.owned},
+            events=self.sim.events_processed,
+            timer_spills=self.sim.timer_spills,
+            output=self._extract() if want_output else None,
+            tracer=self.sim.tracer,
+        )
+
+
+def _build_world(index, owned, app_module, protocol, nprocs, config, variant,
+                 netcfg, nodecfg, trace) -> PartitionWorld:
+    """Construct one partition's replica (identical code path to serial)."""
+    sim = Simulator(queue="calendar")
+    if protocol == "mpi":
+        from repro.mpi.comm import MpiSystem
+
+        system = MpiSystem(nprocs, netcfg=netcfg, nodecfg=nodecfg, sim=sim)
+        cluster = system.cluster
+        if trace:
+            from repro.obs.tracer import EventTracer
+
+            sim.tracer = EventTracer()
+        switch = _make_partition_switch(cluster, owned)
+        body = app_module.build_mpi(system, config)
+        oracles = ()
+        rank_stats_fn = None
+        extract_fn = lambda: system.app_output  # noqa: E731
+    else:
+        from repro.core.program import make_system
+
+        system = make_system(nprocs, protocol, netcfg=netcfg, nodecfg=nodecfg, sim=sim)
+        cluster = system.dsm.cluster
+        if trace:
+            from repro.obs.tracer import EventTracer
+
+            sim.tracer = EventTracer()
+        switch = _make_partition_switch(cluster, owned)
+        body = app_module.build(system, config, variant)
+        oracles = (system.dsm.directory, system.dsm.views)
+        rank_stats_fn = system.dsm.stats_for
+        extract_fn = lambda: app_module.extract(system, config)  # noqa: E731
+    for oracle in oracles:
+        oracle.capture_deltas()
+    pending = system.start_program(body, ranks=owned)
+    return PartitionWorld(index, owned, sim, cluster, switch, oracles, pending,
+                          extract_fn, rank_stats_fn)
+
+
+# -- coordinator ports ------------------------------------------------------------
+
+
+class _InlinePort:
+    """All partitions in one process: commands execute synchronously."""
+
+    def __init__(self, build: Callable[[], PartitionWorld], want_output: bool):
+        self.world = build()
+        self.want_output = want_output
+        self._reply: Any = ("report", self.world.report())
+
+    def send_step(self, window_end, frames, deltas) -> None:
+        self.world.advance(window_end, frames, deltas)
+        self._reply = ("report", self.world.report())
+
+    def send_finish(self) -> None:
+        self._reply = ("done", self.world.finalize(self.want_output))
+
+    def recv(self):
+        reply, self._reply = self._reply, None
+        return reply
+
+    def close(self) -> None:
+        pass
+
+
+def _worker_main(conn, index, build, want_output, msg_id_base) -> None:
+    """Forked partition process: build the world, serve barrier commands."""
+    try:
+        from repro.net.message import set_msg_id_base
+
+        set_msg_id_base(msg_id_base)
+        world = build()
+        conn.send(("report", world.report()))
+        while True:
+            cmd = conn.recv()
+            if cmd[0] == "step":
+                _, window_end, frames, deltas = cmd
+                world.advance(window_end, frames, deltas)
+                conn.send(("report", world.report()))
+            elif cmd[0] == "finish":
+                conn.send(("done", world.finalize(want_output)))
+                return
+            else:  # pragma: no cover - protocol bug
+                raise RuntimeError(f"unknown PDES command {cmd[0]!r}")
+    except BaseException:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        except Exception:  # pragma: no cover - parent already gone
+            pass
+    finally:
+        conn.close()
+
+
+class _ForkPort:
+    """One forked partition process behind a pipe."""
+
+    def __init__(self, ctx, index, build, want_output):
+        self.index = index
+        self.conn, child = ctx.Pipe()
+        # fork start method: the build closure is inherited, never pickled
+        self.proc = ctx.Process(
+            target=_worker_main,
+            args=(child, index, build, want_output, 1 + index * MSG_ID_STRIDE),
+            name=f"pdes-{index}",
+        )
+        self.proc.start()
+        child.close()
+
+    def send_step(self, window_end, frames, deltas) -> None:
+        self.conn.send(("step", window_end, frames, deltas))
+
+    def send_finish(self) -> None:
+        self.conn.send(("finish",))
+
+    def recv(self):
+        try:
+            return self.conn.recv()
+        except EOFError:
+            raise PdesError(
+                f"partition {self.index} exited without reporting "
+                f"(exit code {self.proc.exitcode})"
+            ) from None
+
+    def close(self) -> None:
+        self.conn.close()
+        self.proc.join(timeout=30)
+        if self.proc.is_alive():  # pragma: no cover - defensive
+            self.proc.terminate()
+            self.proc.join()
+
+
+# -- the window loop --------------------------------------------------------------
+
+
+def _drive(ports, owner_of, lam) -> tuple[list[PartitionResult], int]:
+    """Run the window protocol over a set of ports; return results + #windows."""
+    nparts = len(ports)
+    replies = [_expect(port.recv(), "report", i) for i, port in enumerate(ports)]
+    windows = 0
+    while True:
+        inboxes: list[list] = [[] for _ in range(nparts)]
+        deltas = [r[2] for r in replies]
+        T = min(r[0] for r in replies)
+        for r in replies:
+            for frame in r[1]:
+                inboxes[owner_of[frame[0]]].append(frame)
+                if frame[1] < T:
+                    T = frame[1]
+        if T == math.inf:
+            break
+        windows += 1
+        for i, port in enumerate(ports):
+            foreign = [d for j, d in enumerate(deltas) if j != i]
+            port.send_step(T + lam, inboxes[i], foreign)
+        replies = [_expect(port.recv(), "report", i) for i, port in enumerate(ports)]
+    for port in ports:
+        port.send_finish()
+    finals = [_expect(port.recv(), "done", i) for i, port in enumerate(ports)]
+    return finals, windows
+
+
+def _expect(reply, tag, index):
+    if reply[0] == "error":
+        raise PdesError(f"partition {index} failed:\n{reply[1]}")
+    if reply[0] != tag:  # pragma: no cover - protocol bug
+        raise PdesError(f"partition {index}: expected {tag!r}, got {reply[0]!r}")
+    return reply[1]
+
+
+# -- public driver ----------------------------------------------------------------
+
+
+@dataclass
+class PdesOutcome:
+    """Merged results of a partitioned run, mirroring the serial observables."""
+
+    output: Any
+    stats: Any  # merged RunStats (DSM) or NetStats (MPI)
+    time: float
+    results: dict  # rank -> program return value
+    events: int  # sum of per-partition executed callbacks
+    windows: int
+    workers: int
+    tracer: Any  # merged EventTracer, or None
+    timer_spills: int
+
+
+def run_partitioned(
+    app_module,
+    protocol: str,
+    nprocs: int,
+    config=None,
+    variant: str = "default",
+    workers: int = 2,
+    mode: str = "fork",
+    netcfg=None,
+    nodecfg=None,
+    trace: bool = False,
+    view_tracer=None,
+    metrics=None,
+    faults=None,
+) -> PdesOutcome:
+    """Run one application under the partitioned driver.
+
+    Produces observables bit-identical to the serial ``run_app`` path:
+    same output arrays, same merged statistics (and therefore the same
+    benchmark fingerprint), same simulated time.  ``events`` differs from
+    serial by exactly ``(workers - 1) * nprocs`` replica dispatcher
+    start-ups.  Raises :class:`PdesError` for configurations the conservative
+    scheme cannot replay (see module docstring).
+    """
+    from repro.net.config import NetConfig
+
+    if faults is not None:
+        raise PdesError("fault injection perturbs arrivals; PDES runs are serial-only")
+    if metrics is not None:
+        raise PdesError("contention metrics are not supported under PDES")
+    if view_tracer is not None:
+        raise PdesError("view tracing is not supported under PDES")
+    if protocol == "hlrc_d":
+        raise PdesError(
+            "hlrc_d needs an instantaneous home-assignment read "
+            "(PageDirectory.origin_any); run it serially"
+        )
+    netcfg = netcfg or NetConfig()
+    if netcfg.random_drop_prob > 0.0:
+        raise PdesError("random_drop_prob draws a global RNG stream; run serially")
+    try:
+        lam = netcfg.lookahead()
+    except ValueError as exc:
+        raise PdesError(str(exc)) from None
+    if mode not in ("fork", "inline"):
+        raise PdesError(f"unknown PDES mode {mode!r} (use 'fork' or 'inline')")
+    config = config if config is not None else app_module.default_config()
+
+    parts = partition_ranks(nprocs, workers)
+    owner_of = {}
+    for p, ranks in enumerate(parts):
+        for r in ranks:
+            owner_of[r] = p
+
+    def make_builder(index: int):
+        owned = parts[index]
+        return lambda: _build_world(index, owned, app_module, protocol, nprocs,
+                                    config, variant, netcfg, nodecfg, trace)
+
+    ports: list = []
+    try:
+        if mode == "inline":
+            for p in range(len(parts)):
+                ports.append(_InlinePort(make_builder(p), want_output=(p == 0)))
+        else:
+            ctx = multiprocessing.get_context("fork")
+            for p in range(len(parts)):
+                ports.append(_ForkPort(ctx, p, make_builder(p), want_output=(p == 0)))
+        finals, windows = _drive(ports, owner_of, lam)
+    finally:
+        for port in ports:
+            port.close()
+
+    return _merge(finals, windows, protocol, nprocs, len(parts), trace)
+
+
+def _merge(finals, windows, protocol, nprocs, nparts, trace) -> PdesOutcome:
+    """Assemble the serial-equivalent observables from partition results."""
+    from repro.net.stats import NetStats
+
+    finish = max(t for f in finals for t in f.finish_times)
+    time = finish  # all runs start at t=0
+    node_shards = {}
+    results = {}
+    for f in finals:
+        node_shards.update(f.node_stats)
+        results.update(f.results)
+    net = NetStats.merged(node_shards[i] for i in range(nprocs))
+    if protocol == "mpi":
+        stats: Any = net
+    else:
+        from repro.protocols.runstats import RunStats
+
+        rank_shards = {}
+        for f in finals:
+            rank_shards.update(f.rank_stats)
+        stats = RunStats.merged(
+            (rank_shards[r] for r in range(nprocs)), net=net
+        )
+        stats.time = time
+    tracer = None
+    if trace:
+        from repro.obs.tracer import EventTracer
+
+        tracer = EventTracer.merged([f.tracer for f in finals])
+    return PdesOutcome(
+        output=finals[0].output,
+        stats=stats,
+        time=time,
+        results=results,
+        events=sum(f.events for f in finals),
+        windows=windows,
+        workers=nparts,
+        tracer=tracer,
+        timer_spills=sum(f.timer_spills for f in finals),
+    )

@@ -115,6 +115,46 @@ def test_jittered_retries_replay_identically_in_one_process():
     assert one_run() == one_run()
 
 
+# -- timer-lane ordering under backoff schedules ----------------------------------
+
+
+def test_timer_order_matches_reference_under_backoff_delays():
+    """Property: whatever mix of backed-off delays a transport schedules,
+    timers fire in (deadline, schedule order).  The engine's per-delay FIFO
+    lanes assumed non-decreasing delays per lane — a backoff schedule is
+    exactly the workload that used to break that assumption, so this drives
+    the lanes with delays drawn from real ``retry_schedule()`` values at
+    randomised interleavings and checks against the naive stable sort."""
+    import random
+
+    from repro.sim import Simulator
+
+    rng = random.Random(0xB0FF)
+    for _ in range(15):
+        cfg = NetConfig(
+            rexmit_timeout=0.05,
+            max_retries=5,
+            backoff_factor=rng.choice([1.0, 1.5, 2.0, 3.0]),
+            backoff_jitter=rng.choice([0.0, 0.1, 0.3]),
+        )
+        delays = cfg.retry_schedule()
+        sim = Simulator()
+        fired: list[int] = []
+        expected: list[tuple[float, int]] = []
+
+        def driver():
+            for seq in range(60):
+                d = rng.choice(delays) * (1.0 + rng.choice([0.0, cfg.backoff_jitter]))
+                expected.append((sim.now + d, seq))
+                sim.schedule_timer(d, (lambda k: lambda: fired.append(k))(seq))
+                yield Timeout(rng.choice([0.001, 0.01, 0.037]))
+
+        sim.spawn(driver())
+        sim.run()
+        reference = [k for _, k in sorted(expected, key=lambda e: e[0])]
+        assert fired == reference
+
+
 # -- the dup-horizon regression --------------------------------------------------
 
 

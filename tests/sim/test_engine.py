@@ -1,5 +1,7 @@
 """Unit tests for the discrete-event kernel."""
 
+import random
+
 import pytest
 
 from repro.sim import Simulator, Timeout, SimError, Interrupt
@@ -316,3 +318,188 @@ def test_events_processed_counter():
     sim.spawn(proc())
     sim.run()
     assert sim.events_processed > 0
+
+
+# -- pid determinism (simulator-local counter) -----------------------------------
+
+
+def test_pids_are_simulator_local():
+    """A second Simulator in the same OS process must hand out the same pids
+    as a fresh process would — the old class-global ``Process._ids`` counter
+    made run N's pids depend on how many processes ran before it."""
+
+    def one_run():
+        sim = Simulator()
+
+        def worker():
+            yield Timeout(1.0)
+
+        pids = [sim.spawn(worker()).pid for _ in range(3)]
+        sim.run()
+        return pids
+
+    first, second = one_run(), one_run()
+    assert first == second == [0, 1, 2]
+
+
+# -- run(until=...) boundary semantics -------------------------------------------
+
+
+def test_run_until_in_past_raises_and_clock_never_rewinds():
+    sim = Simulator()
+
+    def worker():
+        yield Timeout(10.0)
+
+    sim.spawn(worker())
+    sim.run(until=5.0)
+    assert sim.now == 5.0
+    with pytest.raises(SimError):
+        sim.run(until=3.0)  # pre-fix: silently rewound the clock to 3.0
+    assert sim.now == 5.0
+
+
+def test_run_until_advances_clock_when_drained():
+    """If the queues drain before ``until`` the clock still runs out the
+    window — pre-fix it stopped at the last event time, so the PDES outer
+    loop saw a non-monotone `now` across idle windows."""
+    sim = Simulator()
+
+    def worker():
+        yield Timeout(1.0)
+
+    sim.spawn(worker())
+    assert sim.run(until=5.0) == 5.0
+    assert sim.now == 5.0
+    # an idle window over an already-empty queue advances too
+    assert sim.run(until=7.5) == 7.5
+
+
+def test_run_until_executes_events_exactly_at_until():
+    sim = Simulator()
+    fired = []
+
+    def worker():
+        yield Timeout(3.5)
+        fired.append(sim.now)
+
+    sim.spawn(worker())
+    sim.run(until=3.5)
+    assert fired == [3.5]
+    assert sim.now == 3.5
+
+
+def test_run_until_exclusive_leaves_boundary_events_queued():
+    sim = Simulator()
+    fired = []
+
+    def worker():
+        yield Timeout(2.0)
+        fired.append(sim.now)
+
+    sim.spawn(worker())
+    sim.run(until=2.0, inclusive=False)
+    assert fired == []  # the window [0, 2) is half-open
+    assert sim.now == 2.0
+    sim.run()
+    assert fired == [2.0]
+
+
+def test_run_until_windows_compose_into_a_full_run():
+    """Driving the clock through half-open windows (the PDES outer loop)
+    must execute exactly the events a single run() would, in order."""
+
+    def ticks(windowed):
+        sim = Simulator()
+        seen = []
+
+        def ticker():
+            while sim.now < 2.9:
+                yield Timeout(0.5)
+                seen.append(sim.now)
+
+        sim.spawn(ticker())
+        if windowed:
+            w = 0.0
+            while sim.peek_next_time() != float("inf"):
+                w = max(w + 0.7, sim.now)
+                sim.run(until=w, inclusive=False)
+                assert sim.now == w  # monotone, even through idle windows
+        else:
+            sim.run()
+        return seen
+
+    assert ticks(windowed=True) == ticks(windowed=False)
+
+
+# -- schedule_timer lanes under mixed (backoff) delays ---------------------------
+
+
+def test_timer_lanes_absorb_mixed_backoff_delays():
+    """Structural regression for the backoff-era lane bug: one long
+    backed-off timer used to reroute every subsequent shorter-delay timer
+    into the main heap (the single FIFO assumed non-decreasing deadlines).
+    With per-delay lanes, a handful of distinct delays never touches the
+    main queue."""
+    sim = Simulator()
+    backoff = [0.05 * (2.0 ** k) for k in range(5)]
+    for step in range(30):
+        sim.schedule_timer(0.05, lambda: None)
+        sim.schedule_timer(backoff[step % 5], lambda: None)
+        assert not sim._heap, "a timer spilled into the main event queue"
+        sim.run(until=sim.now + 0.01)
+    assert sim.timer_spills == 0
+
+
+def test_timer_spill_when_lane_budget_exhausted_stays_ordered():
+    sim = Simulator()
+    fired = []
+    ndelays = Simulator.MAX_TIMER_LANES + 4
+    for i in range(ndelays):
+        delay = 1.0 + i * 0.1
+        sim.schedule_timer(delay, fired.append, delay)
+    assert sim.timer_spills == 4
+    sim.run()
+    assert fired == sorted(fired)
+
+
+def _mixed_timer_workload(use_timer_lanes, ops):
+    """Drive one simulator through ``ops``; return the exact firing order."""
+    sim = Simulator()
+    fired = []
+
+    def driver():
+        for i, (kind, delay) in enumerate(ops):
+            if kind == "advance":
+                yield Timeout(delay)
+            elif kind == "timer" and use_timer_lanes:
+                sim.schedule_timer(delay, fired.append, (i, "t"))
+            else:
+                sim.schedule(delay, fired.append, (i, kind[0]))
+
+    sim.spawn(driver())
+    sim.run()
+    return fired
+
+
+def test_timer_order_matches_single_heap_reference():
+    """Property: under arbitrary interleavings of fixed and backed-off
+    delays, the lane merge fires timers in exactly the order a single
+    (time, seq) heap would.  Both runs allocate sequence numbers from the
+    same counter in the same order, so the firing orders must be equal
+    element for element."""
+    rng = random.Random(0xBACC0FF)
+    delays = [0.05, 0.05, 0.1, 0.2, 0.4, 0.8, 1.6, 0.05 * 1.37, 0.05 * 2.93]
+    for trial in range(25):
+        ops = []
+        for _ in range(rng.randint(5, 60)):
+            r = rng.random()
+            if r < 0.5:
+                ops.append(("timer", rng.choice(delays)))
+            elif r < 0.7:
+                ops.append(("plain", rng.choice(delays)))
+            else:
+                ops.append(("advance", rng.choice([0.0, 0.01, 0.06, 0.31])))
+        lanes = _mixed_timer_workload(True, ops)
+        reference = _mixed_timer_workload(False, ops)
+        assert lanes == reference, f"divergence on trial {trial}: {ops!r}"

@@ -1,0 +1,156 @@
+"""Conformance and unit tests for the partitioned (PDES) driver.
+
+The load-bearing claim of :mod:`repro.sim.pdes` is *bit-identity*: a
+partitioned run produces exactly the serial run's observables — output,
+statistics row (and therefore the benchmark fingerprint), simulated time.
+The tests here check that claim on real application cells (inline mode, so
+failures give ordinary tracebacks) plus one fork-mode smoke, the refusal
+surface, and the halo-ring MPI app the scaling benchmark uses.
+"""
+
+import hashlib
+import json
+
+import pytest
+
+from repro.apps import APPS
+from repro.apps.common import run_app
+from repro.bench.pdes import HaloConfig, _serial_halo, halo_app
+from repro.sim.pdes import PdesError, partition_ranks, run_partitioned
+
+
+def _fingerprint(result) -> str:
+    return hashlib.sha256(
+        json.dumps(result.table_row(), sort_keys=True).encode()
+    ).hexdigest()
+
+
+# -- partitioning ----------------------------------------------------------------
+
+
+def test_partition_ranks_cover_contiguously():
+    for nprocs in (1, 2, 7, 8, 16):
+        for workers in (1, 2, 3, 8, 32):
+            parts = partition_ranks(nprocs, workers)
+            flat = [r for block in parts for r in block]
+            assert flat == list(range(nprocs))
+            assert all(len(block) > 0 for block in parts)
+            assert len(parts) == min(workers, nprocs)
+            assert 0 in parts[0]  # rank 0 (output owner) lives in partition 0
+
+
+def test_partition_ranks_rejects_zero_workers():
+    with pytest.raises(PdesError):
+        partition_ranks(8, 0)
+
+
+# -- bit-identity on application cells --------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "app,protocol,workers",
+    [
+        ("is", "lrc_d", 2),
+        ("is", "vc_sd", 3),
+        ("nn", "mpi", 4),
+    ],
+)
+def test_inline_conformance_bit_identical(app, protocol, workers):
+    serial = run_app(APPS[app], protocol, 8)
+    pdes = run_app(
+        APPS[app], protocol, 8, pdes_workers=workers, pdes_mode="inline"
+    )
+    assert pdes.verified
+    assert _fingerprint(pdes) == _fingerprint(serial)
+    assert pdes.time == serial.time
+    # the only event-count delta is the foreign replicas' dispatcher
+    # start-ups: one per non-owned node in each partition
+    assert pdes.events == serial.events + (workers - 1) * 8
+
+
+def test_fork_mode_bit_identical():
+    serial = run_app(APPS["is"], "lrc_d", 8)
+    pdes = run_app(
+        APPS["is"], "lrc_d", 8, pdes_workers=2, pdes_mode="fork"
+    )
+    assert pdes.verified
+    assert _fingerprint(pdes) == _fingerprint(serial)
+    assert pdes.time == serial.time
+
+
+def test_traced_pdes_matches_serial_breakdown():
+    """The merged per-partition trace must attribute time exactly like the
+    serial trace (per-(pid, lane) streams are identical) and export a
+    schema-valid Chrome trace."""
+    from repro.obs import EventTracer, chrome_trace, validate_chrome_trace
+
+    t_serial, t_pdes = EventTracer(), EventTracer()
+    serial = run_app(APPS["is"], "lrc_d", 8, tracer=t_serial)
+    pdes = run_app(
+        APPS["is"], "lrc_d", 8, tracer=t_pdes,
+        pdes_workers=2, pdes_mode="inline",
+    )
+    assert pdes.breakdown == serial.breakdown
+    validate_chrome_trace(chrome_trace(t_pdes))
+
+
+# -- the halo-ring scaling app -----------------------------------------------------
+
+
+def test_halo_ring_partitions_match_serial():
+    config = HaloConfig(steps=3, halo_words=16, compute_seconds=100e-6)
+    output, sim_time, events, _ = _serial_halo(8, config)
+    outcome = run_partitioned(
+        halo_app, protocol="mpi", nprocs=8, config=config,
+        workers=16, mode="inline",  # clamps to 8 single-rank partitions
+    )
+    assert outcome.workers == 8
+    assert outcome.output == output
+    assert outcome.time == sim_time
+    assert outcome.windows > 0
+
+
+# -- refusal surface --------------------------------------------------------------
+
+
+def test_refuses_hlrc_d():
+    with pytest.raises(PdesError, match="hlrc_d"):
+        run_partitioned(APPS["is"], protocol="hlrc_d", nprocs=8)
+
+
+def test_refuses_faults_metrics_and_view_tracer():
+    with pytest.raises(PdesError, match="fault"):
+        run_partitioned(APPS["is"], protocol="lrc_d", nprocs=8, faults=object())
+    with pytest.raises(PdesError, match="metrics"):
+        run_partitioned(APPS["is"], protocol="lrc_d", nprocs=8, metrics=object())
+    with pytest.raises(PdesError, match="[Vv]iew"):
+        run_partitioned(
+            APPS["is"], protocol="vc_sd", nprocs=8, view_tracer=object()
+        )
+
+
+def test_refuses_random_drop_and_bad_mode():
+    from repro.net.config import NetConfig
+
+    with pytest.raises(PdesError, match="drop"):
+        run_partitioned(
+            APPS["is"], protocol="lrc_d", nprocs=8,
+            netcfg=NetConfig(random_drop_prob=0.01),
+        )
+    with pytest.raises(PdesError, match="mode"):
+        run_partitioned(APPS["is"], protocol="lrc_d", nprocs=8, mode="threads")
+
+
+# -- sweep-cache integration -------------------------------------------------------
+
+
+def test_cell_key_separates_pdes_entries():
+    from repro.bench.sweep import SweepCell, cell_key
+
+    cell = SweepCell(app="is", protocol="lrc_d", nprocs=8)
+    base = cell_key(cell, "fp")
+    assert cell_key(cell, "fp", pdes_workers=2) != base
+    assert cell_key(cell, "fp", pdes_workers=4) != cell_key(cell, "fp", pdes_workers=2)
+    # "not partitioned" spellings all recall the same serial entry
+    assert cell_key(cell, "fp", pdes_workers=None) == base
+    assert cell_key(cell, "fp", pdes_workers=1) == base
