@@ -85,6 +85,7 @@ class AppResult:
     events: int = 0  # simulator callbacks executed (perf-harness denominator)
     breakdown: Any = None  # per-process time attribution (traced runs only)
     metrics: Any = None  # repro.obs.Metrics registry (metered runs only)
+    pdes: Any = None  # window-protocol accounting dict (partitioned runs only)
 
     def table_row(self) -> dict:
         if hasattr(self.stats, "table_row"):
@@ -107,6 +108,7 @@ def run_app(
     faults: Any = None,
     pdes_workers: Optional[int] = None,
     pdes_mode: str = "fork",
+    pdes_batching: bool = True,
 ) -> AppResult:
     """Build, run and (optionally) verify one application.
 
@@ -140,10 +142,18 @@ def run_app(
             variant=variant, workers=pdes_workers, mode=pdes_mode,
             netcfg=netcfg, nodecfg=nodecfg, trace=tracer is not None,
             view_tracer=view_tracer, metrics=metrics, faults=faults,
+            batching=pdes_batching,
         )
         result = AppResult(
             protocol, nprocs, outcome.output, outcome.stats, outcome.time,
             events=outcome.events,
+            pdes={
+                "workers": outcome.workers,
+                "windows": outcome.windows,
+                "elided_windows": outcome.elided_windows,
+                "leased_windows": outcome.leased_windows,
+                "frame_bytes": outcome.frame_bytes,
+            },
         )
         if tracer is not None:
             # hand the merged trace back through the caller's tracer object

@@ -62,12 +62,15 @@ def run_conformance(
     cells: Optional[Sequence[SweepCell]] = None,
     workers: int = 2,
     mode: str = "fork",
+    batching: bool = True,
 ) -> dict:
     """Serial vs partitioned bit-identity over the benchmark matrix.
 
     For every cell the serial and PDES statistics rows must hash identically
     and the simulated completion times must be *exactly* equal (no
     tolerance: the engine is deterministic, so any drift is a bug).
+    ``batching=False`` runs the minimal-window loop instead of the leased
+    one — CI runs both, so a lease bug cannot hide behind a batching one.
     """
     cells = list(cells) if cells is not None else default_cells()
     rows = []
@@ -80,7 +83,7 @@ def run_conformance(
         pdes = run_app(
             APPS[cell.app], cell.protocol, cell.nprocs,
             config=cell.config(), variant=cell.variant,
-            pdes_workers=workers, pdes_mode=mode,
+            pdes_workers=workers, pdes_mode=mode, pdes_batching=batching,
         )
         match = (
             _row_fingerprint(serial) == _row_fingerprint(pdes)
@@ -99,7 +102,8 @@ def run_conformance(
             "events_pdes": pdes.events,
             "match": match,
         })
-    return {"workers": workers, "mode": mode, "all_match": all_match, "cells": rows}
+    return {"workers": workers, "mode": mode, "batching": batching,
+            "all_match": all_match, "cells": rows}
 
 
 # -- the halo-exchange scaling app -------------------------------------------------
@@ -165,11 +169,21 @@ def run_scaling(
     workers_list: Sequence[int] = (2, 4, 8),
     config: Optional[HaloConfig] = None,
     mode: str = "fork",
+    batching: bool = True,
 ) -> dict:
-    """Serial vs partitioned throughput on the halo ring at ``nprocs``."""
+    """Serial vs partitioned throughput on the halo ring at ``nprocs``.
+
+    Each partitioned entry records the window-protocol accounting
+    (``windows``/``elided_windows``/``leased_windows``/``frame_bytes``)
+    plus ``workers_effective`` and ``timesliced``: when the requested
+    worker count exceeds the host's cores the forked partitions time-slice
+    one core and the wall-clock figure measures protocol overhead, not
+    scaling — see ``docs/benchmarks.md``.
+    """
     from repro.sim.pdes import run_partitioned
 
     config = config or HaloConfig()
+    host_cpus = os.cpu_count() or 1
     output, sim_time, events, wall = _serial_halo(nprocs, config)
     report = {
         "app": "halo-ring",
@@ -188,20 +202,27 @@ def run_scaling(
         t0 = _time.perf_counter()
         outcome = run_partitioned(
             halo_app, protocol="mpi", nprocs=nprocs, config=config,
-            workers=workers, mode=mode,
+            workers=workers, mode=mode, batching=batching,
         )
         pwall = _time.perf_counter() - t0
-        report["partitioned"].append({
+        entry = {
             "workers": workers,
+            "workers_effective": min(workers, host_cpus),
             "mode": mode,
             "wall_seconds": round(pwall, 4),
             "events": outcome.events,
             "events_per_sec": round(outcome.events / pwall) if pwall > 0 else 0,
             "windows": outcome.windows,
+            "elided_windows": outcome.elided_windows,
+            "leased_windows": outcome.leased_windows,
+            "frame_bytes": outcome.frame_bytes,
             "speedup_vs_serial": round(wall / pwall, 3) if pwall > 0 else 0.0,
             "output_matches": outcome.output == output
             and outcome.time == sim_time,
-        })
+        }
+        if workers > host_cpus:
+            entry["timesliced"] = True
+        report["partitioned"].append(entry)
     return report
 
 
@@ -214,6 +235,7 @@ def run_benchmark(
     mode: str = "fork",
     scale_nprocs: Optional[int] = None,
     workers_list: Sequence[int] = (2, 4, 8),
+    batching: bool = True,
 ) -> dict:
     """The full benchmark: conformance matrix + scaling sweep.
 
@@ -231,18 +253,23 @@ def run_benchmark(
             SweepCell(app="is", protocol="vc_d", nprocs=16, variant="lb"),
             SweepCell(app="nn", protocol="mpi", nprocs=8),
         ]
-        conformance = run_conformance(cells, workers=workers, mode="inline")
+        conformance = run_conformance(cells, workers=workers, mode="inline",
+                                      batching=batching)
         scaling = run_scaling(
             scale_nprocs or 64, workers_list=(2, 4), mode=mode,
+            batching=batching,
         )
     else:
-        conformance = run_conformance(workers=workers, mode=mode)
-        scaling = run_scaling(scale_nprocs or 256, workers_list=workers_list, mode=mode)
+        conformance = run_conformance(workers=workers, mode=mode,
+                                      batching=batching)
+        scaling = run_scaling(scale_nprocs or 256, workers_list=workers_list,
+                              mode=mode, batching=batching)
     return {
         "benchmark": "pdes",
         "host_cpus": os.cpu_count() or 1,
         "python": platform.python_version(),
         "quick": quick,
+        "batching": batching,
         "conformance": conformance,
         "scaling": scaling,
     }
@@ -266,11 +293,13 @@ def main(argv: Optional[list] = None) -> int:
     parser.add_argument("--mode", default="fork", choices=("fork", "inline"))
     parser.add_argument("--scale-nprocs", type=int, default=None,
                         help="rank count for the scaling half (default 256)")
+    parser.add_argument("--no-batching", action="store_true",
+                        help="disable window leases/elision (minimal windows)")
     parser.add_argument("--out", default=DEFAULT_OUTPUT)
     args = parser.parse_args(argv)
     report = run_benchmark(
         quick=args.quick, workers=args.workers, mode=args.mode,
-        scale_nprocs=args.scale_nprocs,
+        scale_nprocs=args.scale_nprocs, batching=not args.no_batching,
     )
     write_report(report, args.out)
     ok = report["conformance"]["all_match"]
@@ -289,6 +318,8 @@ def main(argv: Optional[list] = None) -> int:
         print(
             f"  {p['workers']} partitions: {p['events_per_sec']} ev/s "
             f"({p['speedup_vs_serial']}x, {p['windows']} windows, "
+            f"{p['elided_windows']} elided, {p['leased_windows']} leased, "
+            f"{p['frame_bytes']} frame bytes, "
             f"identical={p['output_matches']})"
         )
     print(f"wrote {args.out} (host_cpus={report['host_cpus']})")

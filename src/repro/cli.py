@@ -18,6 +18,12 @@ Commands
     contention metrics (``--metrics``, ``--metrics-out``) and
     Chrome-trace/JSONL export (``--trace-out``, ``--jsonl-out``); see
     docs/observability.md.
+``profile APP``
+    Run one application under ``cProfile`` and print the hottest functions
+    (``--top``, ``--sort``); ``--profile-out`` dumps the raw stats for
+    snakeviz/pstats.  This is the host-CPU view the events/sec work uses —
+    ``trace`` attributes *simulated* time, ``profile`` attributes *wall*
+    time inside the engine and protocol code.
 ``report BASE NEW``
     Compare two benchmark reports (files or ``git:REV[:path]`` specs) and
     flag regressions; ``--check`` makes regressions a non-zero exit for CI.
@@ -170,6 +176,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
     status = "verified against sequential reference" if result.verified else "NOT verified"
     workers = f", {args.pdes_workers} PDES partitions" if args.pdes_workers else ""
     print(f"{args.app} on {args.protocol}, {args.nprocs} processors{workers} ({status})")
+    if result.pdes:
+        p = result.pdes
+        print(
+            f"  PDES: {p['windows']} windows ({p['elided_windows']} elided, "
+            f"{p['leased_windows']} leased), {p['frame_bytes']:,} frame bytes"
+        )
     for key, value in result.table_row().items():
         print(f"  {key:<24} {value}")
     if result.breakdown is not None:
@@ -240,6 +252,37 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             metrics.write_json(args.metrics_out)
             print(f"wrote metrics snapshot to {args.metrics_out}")
     _write_trace_outputs(tracer, args)
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Host-CPU profile of one serial run (the events/sec workhorse)."""
+    app = APPS[args.app]
+    if args.protocol == "mpi" and not hasattr(app, "run_mpi"):
+        print(f"error: {args.app} has no MPI version (only nn does)", file=sys.stderr)
+        return 2
+    import cProfile
+    import pstats
+
+    prof = cProfile.Profile()
+    prof.enable()
+    result = run_app(
+        app, args.protocol, args.nprocs,
+        variant=args.variant, verify=not args.no_verify,
+    )
+    prof.disable()
+    print(
+        f"{args.app} on {args.protocol}, {args.nprocs} processors — "
+        f"{result.time:.6f} simulated seconds, {result.events} events"
+    )
+    print()
+    stats = pstats.Stats(prof)
+    stats.sort_stats(args.sort)
+    stats.print_stats(args.top)
+    if args.profile_out:
+        prof.dump_stats(args.profile_out)
+        print(f"wrote profile data to {args.profile_out} "
+              "(inspect with pstats or snakeviz)")
     return 0
 
 
@@ -468,6 +511,26 @@ def build_parser() -> argparse.ArgumentParser:
                          help="PDES partition execution: OS processes (fork, "
                          "default) or single-process round-robin (inline)")
     p_trace.set_defaults(fn=_cmd_trace)
+
+    p_profile = sub.add_parser(
+        "profile",
+        help="run one application under cProfile and print the hottest "
+        "functions by host CPU time",
+    )
+    p_profile.add_argument("app", choices=sorted(APPS))
+    p_profile.add_argument("--protocol", default="vc_sd",
+                           choices=[*sorted(PROTOCOLS), "mpi"])
+    p_profile.add_argument("--nprocs", type=int, default=16)
+    p_profile.add_argument("--variant", default="default")
+    p_profile.add_argument("--no-verify", action="store_true")
+    p_profile.add_argument("--top", type=int, default=25,
+                           help="number of functions to print (default 25)")
+    p_profile.add_argument("--sort", default="cumulative",
+                           choices=("cumulative", "tottime", "ncalls"),
+                           help="pstats sort key (default cumulative)")
+    p_profile.add_argument("--profile-out", default=None, metavar="PATH",
+                           help="dump raw cProfile stats for pstats/snakeviz")
+    p_profile.set_defaults(fn=_cmd_profile)
 
     p_report = sub.add_parser(
         "report",

@@ -46,6 +46,12 @@ __all__ = ["Nic", "Switch"]
 class Nic:
     """One full-duplex 100 Mbps port."""
 
+    __slots__ = (
+        "sim", "node_id", "cfg", "stats", "_deliver", "_switch",
+        "_tx_busy", "_rx_busy", "_tx_backlog", "_rx_backlog",
+        "rx_bytes", "_rng", "tx_probe",
+    )
+
     def __init__(
         self,
         sim: Simulator,
@@ -66,8 +72,15 @@ class Nic:
         self._rx_backlog: deque[tuple["Message", int]] = deque()
         self.rx_bytes = 0  # bytes currently held in the receive buffer
         # per-NIC deterministic stream: node id decorrelates ports, the
-        # config seed makes whole runs reproducible
-        self._rng = np.random.RandomState(cfg.drop_seed + 7919 * node_id)
+        # config seed makes whole runs reproducible.  Created lazily — the
+        # stream is only drawn from on RED drops, and eagerly building 256+
+        # RandomStates dominated cluster construction time.
+        self._rng: "np.random.RandomState | None" = None
+        # optional TX-start probe ``probe(msg, t_transfer)`` — the PDES
+        # driver uses it to capture cross-partition frames the moment their
+        # transmission starts (the hand-off instant is already determined
+        # then); None (the default) is the zero-overhead fast path
+        self.tx_probe = None
 
     def attach(self, switch: "Switch") -> None:
         self._switch = switch
@@ -99,7 +112,11 @@ class Nic:
         faults = self.sim.faults
         if faults is not None:
             wire *= faults.bandwidth_factor(self.node_id)
-        self.sim.schedule(self.cfg.send_overhead + wire, self._tx_done, msg)
+        delay = self.cfg.send_overhead + wire
+        probe = self.tx_probe
+        if probe is not None:
+            probe(msg, self.sim.now + delay)
+        self.sim.schedule(delay, self._tx_done, msg)
 
     def _tx_done(self, msg: "Message") -> None:
         assert self._switch is not None, "NIC not attached to a switch"
@@ -141,7 +158,12 @@ class Nic:
             return
         if self.rx_bytes > soft and cap > soft:
             p_drop = (self.rx_bytes - soft) / (cap - soft)
-            if self._rng.random_sample() < p_drop:
+            rng = self._rng
+            if rng is None:
+                rng = self._rng = np.random.RandomState(
+                    self.cfg.drop_seed + 7919 * self.node_id
+                )
+            if rng.random_sample() < p_drop:
                 self.stats.count_drop("red")
                 self._trace_drop(msg, "red")
                 return
@@ -216,7 +238,9 @@ class Switch:
         # partitioned run (transfer is invoked by the source NIC)
         self.node_stats = node_stats
         self.ports: dict[int, Nic] = {}
-        self._rng = np.random.RandomState(cfg.drop_seed)
+        # lazy for the same reason as Nic._rng: only drawn when
+        # random_drop_prob > 0, which the default model never sets
+        self._rng: "np.random.RandomState | None" = None
         # (dst, arrival time) -> [(src, per-src departure seq, msg), ...]
         self._staged: dict[tuple[int, float], list] = {}
         self._dep_seq: dict[int, int] = {}
@@ -226,11 +250,13 @@ class Switch:
         nic.attach(self)
 
     def transfer(self, msg: "Message") -> None:
-        if self.cfg.random_drop_prob > 0.0 and (
-            self._rng.random_sample() < self.cfg.random_drop_prob
-        ):
-            self.node_stats[msg.src].count_drop("random")
-            return
+        if self.cfg.random_drop_prob > 0.0:
+            rng = self._rng
+            if rng is None:
+                rng = self._rng = np.random.RandomState(self.cfg.drop_seed)
+            if rng.random_sample() < self.cfg.random_drop_prob:
+                self.node_stats[msg.src].count_drop("random")
+                return
         if msg.dst not in self.ports:
             self._remote_transfer(msg)
             return

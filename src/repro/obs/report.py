@@ -61,7 +61,7 @@ class MetricDelta:
 
 @dataclass
 class Comparison:
-    kind: str  # "hotpath" or "sweep"
+    kind: str  # "hotpath", "sweep", or "pdes"
     base_label: str
     new_label: str
     deltas: list[MetricDelta] = field(default_factory=list)
@@ -98,6 +98,8 @@ def _report_kind(doc: dict) -> str:
     bench = doc.get("benchmark")
     if bench == "sweep":
         return "sweep"
+    if bench == "pdes":
+        return "pdes"
     if isinstance(doc.get("protocols"), dict):
         return "hotpath"
     raise ValueError(f"unrecognised bench report (benchmark={bench!r})")
@@ -196,7 +198,9 @@ def compare_reports(
     cmp = Comparison(kind=kind, base_label=base_label, new_label=new_label)
     deltas = cmp.deltas
 
-    if kind == "hotpath":
+    if kind == "pdes":
+        _compare_pdes(base, new, tolerance, deltas)
+    elif kind == "hotpath":
         exact = ("events", "sim_time_seconds", "verified", "table_row", "message_mix")
         old_entries = base.get("protocols", {})
         new_entries = new.get("protocols", {})
@@ -233,6 +237,93 @@ def compare_reports(
             if key not in old_cells:
                 deltas.append(MetricDelta(key, "cell", "missing", "present", CHANGED))
     return cmp
+
+
+def _compare_pdes(base: dict, new: dict, tolerance: float, deltas: list) -> None:
+    """BENCH_pdes.json: conformance is all-simulated (exact); scaling mixes
+    deterministic window accounting (exact) with host throughput (gated).
+
+    A quick (reduced-matrix) report on either side downgrades missing cells
+    to CHANGED — quick runs deliberately cover a subset.  Differing
+    ``batching`` settings make the window accounting incomparable, so those
+    fields are skipped (with a CHANGED marker) rather than failed.
+    """
+    reduced = bool(new.get("quick")) != bool(base.get("quick"))
+    miss_status = CHANGED if reduced else REGRESSED
+    miss_note = "reduced (quick) matrix" if reduced else "coverage lost"
+    comparable = base.get("batching", True) == new.get("batching", True)
+    if not comparable:
+        deltas.append(MetricDelta(
+            "(config)", "batching", base.get("batching", True),
+            new.get("batching", True), CHANGED,
+            "window accounting not comparable across batching settings",
+        ))
+
+    def conf_key(c: dict) -> str:
+        return "/".join(
+            str(c.get(k)) for k in ("app", "protocol", "variant", "nprocs")
+        )
+
+    exact = ("fingerprint", "pdes_fingerprint", "sim_time_seconds",
+             "events_serial", "events_pdes", "match")
+    old_cells = {conf_key(c): c for c in base.get("conformance", {}).get("cells", [])}
+    new_cells = {conf_key(c): c for c in new.get("conformance", {}).get("cells", [])}
+    for key, old_cell in old_cells.items():
+        new_cell = new_cells.get(key)
+        if new_cell is None:
+            deltas.append(MetricDelta(key, "cell", "present", "missing",
+                                      miss_status, miss_note))
+            continue
+        for f in exact:
+            deltas.append(_exact_delta(key, f, old_cell.get(f), new_cell.get(f)))
+    for key in new_cells:
+        if key not in old_cells:
+            deltas.append(MetricDelta(key, "cell", "missing", "present", CHANGED))
+
+    old_s, new_s = base.get("scaling", {}), new.get("scaling", {})
+    skey = f"halo/{old_s.get('nprocs')}p"
+    if old_s.get("nprocs") != new_s.get("nprocs"):
+        deltas.append(MetricDelta(
+            "halo", "nprocs", old_s.get("nprocs"), new_s.get("nprocs"),
+            miss_status if not reduced else CHANGED, "scaling point differs",
+        ))
+        return
+    deltas.append(_exact_delta(skey, "sim_time_seconds",
+                               old_s.get("sim_time_seconds"),
+                               new_s.get("sim_time_seconds")))
+    old_serial = old_s.get("serial") or {}
+    new_serial = new_s.get("serial") or {}
+    deltas.append(_exact_delta(f"{skey}/serial", "events",
+                               old_serial.get("events"), new_serial.get("events")))
+    deltas.append(_ratio_delta(f"{skey}/serial", "events_per_sec",
+                               old_serial.get("events_per_sec"),
+                               new_serial.get("events_per_sec"), tolerance))
+    window_fields = ("windows", "elided_windows", "leased_windows", "frame_bytes")
+    old_parts = {p.get("workers"): p for p in old_s.get("partitioned", [])}
+    new_parts = {p.get("workers"): p for p in new_s.get("partitioned", [])}
+    for workers, old_p in old_parts.items():
+        pkey = f"{skey}/x{workers}"
+        new_p = new_parts.get(workers)
+        if new_p is None:
+            deltas.append(MetricDelta(pkey, "entry", "present", "missing",
+                                      miss_status, miss_note))
+            continue
+        deltas.append(_exact_delta(pkey, "events",
+                                   old_p.get("events"), new_p.get("events")))
+        deltas.append(_exact_delta(pkey, "output_matches",
+                                   old_p.get("output_matches"),
+                                   new_p.get("output_matches")))
+        if comparable:
+            for f in window_fields:
+                if f in old_p or f in new_p:
+                    deltas.append(_exact_delta(pkey, f, old_p.get(f), new_p.get(f)))
+        deltas.append(_ratio_delta(pkey, "events_per_sec",
+                                   old_p.get("events_per_sec"),
+                                   new_p.get("events_per_sec"), tolerance))
+    for workers in new_parts:
+        if workers not in old_parts:
+            deltas.append(MetricDelta(f"{skey}/x{workers}", "entry",
+                                      "missing", "present", CHANGED))
 
 
 # -- rendering ---------------------------------------------------------------------

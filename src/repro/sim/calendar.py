@@ -1,8 +1,8 @@
 """Array-friendly calendar/bucket event queue.
 
 A classic calendar queue (Brown 1988): events hash into an array of day
-buckets by ``day(t) % nbuckets`` where ``day(t) = int(t / width)``, and the
-pop cursor walks the calendar day by day, so in the steady state both
+buckets by ``day(t) % nbuckets`` where ``day(t) = int(t * (1/width))``, and
+the pop cursor walks the calendar day by day, so in the steady state both
 ``push`` and ``pop`` are O(1) amortized instead of the binary heap's
 O(log n).  The simulator's workloads are a good fit — event times cluster
 around ``now`` within a few network latencies — and the flat bucket array
@@ -16,6 +16,14 @@ behavioural change.  Buckets hold small heaps, which makes degenerate
 schedules (every event at one instant) gracefully collapse to plain heap
 behaviour instead of breaking.
 
+**Front cache.**  The engine's run loop peeks ``q[0]`` on every iteration
+(often twice), so peeking must not cost a bucket scan.  The queue keeps the
+current minimum in a dedicated ``_head`` slot *outside* the buckets: a peek
+is an attribute read, the following pop hands the cached entry straight
+back, and ``push`` maintains the invariant ``_head <= every bucket entry``
+with one tuple comparison (a new pre-head entry swaps into the slot and the
+old head is demoted into its bucket).
+
 The queue resizes itself: when the population doubles past or shrinks below
 the bucket count's working range, the calendar is rebuilt with a bucket
 count proportional to the population and a width estimated from the spread
@@ -26,13 +34,16 @@ buckets, and the cursor re-anchors on the found day.
 
 All day arithmetic goes through the single :meth:`_day` function for both
 placement and the cursor scan, so float rounding can never place an entry
-in one day and look for it in another.
+in one day and look for it in another.  (``_day`` multiplies by a cached
+``1/width`` instead of dividing — multiplication by a positive constant is
+monotone, and the sole-source-of-truth rule makes the exact rounding
+irrelevant.)
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any
+from typing import Any, Optional
 
 __all__ = ["CalendarQueue"]
 
@@ -44,8 +55,12 @@ class CalendarQueue:
 
     MIN_BUCKETS = 8
 
+    __slots__ = ("_size", "_nbuckets", "_width", "_inv_width",
+                 "_buckets", "_cur_day", "_head")
+
     def __init__(self, nbuckets: int = 8, width: float = 1e-5):
-        self._size = 0
+        self._size = 0  # number of entries in the buckets (head excluded)
+        self._head: Optional[tuple] = None  # cached minimum, <= all buckets
         self._init(nbuckets, width)
 
     def _init(self, nbuckets: int, width: float) -> None:
@@ -53,6 +68,7 @@ class CalendarQueue:
             width = 1e-9
         self._nbuckets = nbuckets
         self._width = width
+        self._inv_width = 1.0 / width
         self._buckets: list[list[tuple]] = [[] for _ in range(nbuckets)]
         self._cur_day = 0  # absolute day number the pop cursor is draining
 
@@ -60,7 +76,7 @@ class CalendarQueue:
         """Canonical day number for time ``t`` (sole source of truth)."""
         if t == _INF:
             return self._cur_day  # park infinities on the current day
-        return int(t / self._width)
+        return int(t * self._inv_width)
 
     # -- sizing ---------------------------------------------------------------
 
@@ -89,6 +105,11 @@ class CalendarQueue:
 
     def push(self, entry: tuple) -> None:
         """Insert ``entry`` (a ``(t, tsched, cls, seq, fn, args)`` tuple)."""
+        head = self._head
+        if head is not None and entry < head:
+            # new global minimum: take the head slot, demote the old head
+            self._head = entry
+            entry = head
         day = self._day(entry[0])
         if self._size == 0 or day < self._cur_day:
             # re-anchor the cursor so the next pop starts on the right day
@@ -102,6 +123,10 @@ class CalendarQueue:
 
     def pop(self) -> tuple:
         """Remove and return the minimum entry (full-key order)."""
+        head = self._head
+        if head is not None:
+            self._head = None
+            return head
         if self._size == 0:
             raise IndexError("pop from empty CalendarQueue")
         entry = self._pop_min()
@@ -134,20 +159,35 @@ class CalendarQueue:
         return heapq.heappop(buckets[best_i])
 
     def __len__(self) -> int:
-        return self._size
+        return self._size + (self._head is not None)
 
     def __bool__(self) -> bool:
-        return self._size > 0
+        return self._size > 0 or self._head is not None
+
+    def __iter__(self):
+        """All pending entries, in no particular order (inspection only).
+
+        The PDES driver walks the pending set at barrier upload time to
+        compute its output bound; iteration must not disturb the queue.
+        """
+        head = self._head
+        if head is not None:
+            yield head
+        for bucket in self._buckets:
+            yield from bucket
 
     def __getitem__(self, index: int) -> Any:
         """Peek support: ``q[0]`` is the minimum entry (heap-API parity)."""
+        head = self._head
+        if head is not None and index == 0:
+            return head
         if index != 0:
             raise IndexError("CalendarQueue only supports peeking q[0]")
         if self._size == 0:
             raise IndexError("peek into empty CalendarQueue")
-        entry = self._pop_min()
-        # pop_min re-anchored the cursor on this entry's day, so pushing it
-        # back and re-popping later is O(1); hot callers only read entry[0]
-        heapq.heappush(
-            self._buckets[self._day(entry[0]) % self._nbuckets], entry)
-        return entry
+        # promote the bucket minimum into the head slot; subsequent peeks
+        # and the next pop are then O(1)
+        head = self._pop_min()
+        self._size -= 1
+        self._head = head
+        return head

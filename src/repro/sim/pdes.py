@@ -19,23 +19,69 @@ Architecture
 * The replica's switch is a :class:`PartitionSwitch`: frames for co-resident
   destinations take the normal staged arrival pump; frames for foreign
   destinations go to an **outbox** carrying their canonical ordering
-  coordinates ``(dst, t_arrival, t_departure, src, departure#)``.
+  coordinates ``(dst, t_arrival, t_departure, src, departure#)``.  Foreign
+  frames are captured the moment their *transmission starts* (a NIC TX-start
+  probe): the hand-off instant ``t_dep = now + send_overhead + wire`` and
+  the per-source departure number are already fully determined then (TX is
+  serialised per NIC and the driver refuses every non-deterministic
+  transfer perturbation), so a frame whose wire time spans a barrier ships
+  one barrier *earlier* than its simulated hand-off — the destination holds
+  it before any window that could need it, and an in-flight transmission
+  never forces a minimal-width window.
 * Execution alternates windows and barriers.  At each barrier the
-  coordinator collects every partition's outbox, next-event time and shared
-  oracle deltas (page directory + view registry mutations, see
-  :mod:`repro.protocols.versioned`), routes frames to the destination
-  partitions, and computes ``T = min`` next-event time over partitions and
-  in-flight frames.  Each partition then injects its inbound frames, applies
-  the foreign oracle deltas, and runs ``sim.run(until=T + λ,
-  inclusive=False)`` — the half-open window ``[T, T+λ)``.
+  coordinator collects every partition's report — next-event time ``N``,
+  output bound ``O`` (see below), struct-packed outbound frames
+  (:func:`repro.net.message.encode_frames`) and shared-oracle deltas (page
+  directory + view registry mutations, see
+  :mod:`repro.protocols.versioned`) — routes the frame bytes to the
+  destination partitions (:func:`repro.net.message.route_frames`, which
+  never unpickles a relayed payload), and computes ``T = min`` next-event
+  time over partitions and in-flight frames.  Each partition then injects
+  its inbound frames, applies the foreign oracle deltas, and runs
+  ``sim.run(until=H, inclusive=False)`` — the half-open window ``[T, H)``.
+
+Three fast paths cut the per-barrier cost (``docs/simulator.md`` carries
+the full protocol description and safety argument):
+
+* **Null-barrier elision** — a partition with an empty outbox and no oracle
+  deltas uploads a 3-tuple ``("r", N, O)``; when nothing routes to a
+  partition it downloads a bare ``("s", H)``.  A round in which *every*
+  partition reported null skips the frame/delta exchange entirely and is
+  counted in ``elided_windows``.
+* **Window leases** — each report carries an *output bound* ``O``: a lower
+  bound on the earliest future simulated time at which that partition can
+  put a new (not-yet-captured) frame on the switch or mutate a shared
+  oracle.  ``O`` comes from a scan of the partition's pending event set
+  (:meth:`PartitionWorld._output_bound`): arrival pumps cannot influence
+  anything before their frames clear the receive wire and overhead, a TX
+  completion's remaining chain is committed and its hand-off instants are
+  computable from the backlog, and any other event is assumed to send
+  immediately (costing ``δ_send = NetConfig.min_send_delay()`` to reach
+  the switch) or — for DSM partitions — to mutate an oracle at its own
+  instant.  The coordinator additionally bounds influence *induced* by the
+  frames it routes this round (``arrival + δ_recv`` for DSM, ``+ δ_send``
+  more for MPI) and grants the window ``[T, H)`` with ``H = λ + min`` over
+  all bounds, clamped to at least ``T + λ`` — one round-trip covering what
+  would otherwise be ``(H - T)/λ`` barriers (the extras are counted in
+  ``leased_windows``).
+* **Compact frames** — outboxes cross the pipe as struct-packed buffers
+  with per-frame pickled payloads instead of pickled tuple lists; the
+  coordinator routes by scanning fixed-offset headers and slicing bytes.
 
 Why this is exact (not just approximately synchronised):
 
-* **No missed events.**  An event executing at ``t ∈ [T, T+λ)`` can affect
-  another partition only through a frame arriving at ``t + λ ≥ T + λ`` —
-  outside the window.  Frames collected at the barrier all arrive inside the
-  *next* window (``t_arr ∈ [W, W+λ)`` with the next ``T' ≥ W``), so they are
-  injected before any event that could observe them.
+* **No missed events.**  Every cross-partition influence during ``[T, H)``
+  happens at or after ``H - λ``: a partition's own pending work influences
+  no earlier than its reported ``O ≥ H - λ``, and work triggered by frames
+  injected this round no earlier than the induced bound — both folded into
+  ``H``.  A frame placed on the switch at ``t ≥ H - λ`` arrives at
+  ``t + λ ≥ H`` — outside the window, collected at the next barrier — and
+  an oracle mutation at ``t_m ≥ H - λ`` is λ-visible only at
+  ``t_m + λ ≥ H``, so no reader inside the window may select it.  Frames
+  collected at a barrier all arrive inside the window about to run:
+  ``t_arr = t_dep + λ`` with ``t_dep ≥ H_prev - λ`` gives
+  ``t_arr ≥ H_prev``, and ``t_arr < H'`` because the arrival time is
+  folded into the next ``T``.
 * **Identical delivery order.**  Same-instant frames to one port are
   delivered by the switch's arrival pump in ``(src, departure#)`` order, and
   the pump event carries the explicit ``(t_sched, class)`` key via
@@ -44,8 +90,9 @@ Why this is exact (not just approximately synchronised):
   pump slot.
 * **Identical metadata reads.**  The shared oracles are read under the
   λ-visibility rule in serial runs too, and a partition executing ``[T,
-  T+λ)`` already holds every foreign mutation the rule can select (all have
-  ``t < T``; shipped at an earlier barrier).
+  H)`` already holds every foreign mutation the rule can select (all have
+  ``t_m + λ < H``, hence ``t_m < H - λ``, hence shipped at an earlier
+  barrier by the influence bound above).
 * **Identical statistics.**  Every counter lives in a per-node shard
   (:mod:`repro.net.stats`, :mod:`repro.protocols.runstats`); merging the
   owned shards in node order reproduces the serial float-summation order.
@@ -58,7 +105,11 @@ needs an instantaneous directory read — see
 
 ``mode="fork"`` runs each partition in a forked OS process (pipes carry the
 barrier traffic); ``mode="inline"`` runs all partitions in-process — same
-window protocol, no parallelism — which is what the conformance tests use.
+window protocol, same frame codec (payloads are pickle-copied, not shared),
+no parallelism — which is what the conformance tests use.
+``batching=False`` disables leases and elision accounting (every window is
+``[T, T+λ)``), reproducing the pre-lease barrier schedule; the conformance
+suite runs both settings.
 
 This module is deliberately *not* imported from ``repro.sim.__init__`` — it
 imports the network and application layers, which import ``repro.sim``.
@@ -66,12 +117,14 @@ imports the network and application layers, which import ``repro.sim``.
 
 from __future__ import annotations
 
+import gc
 import math
 import multiprocessing
 import traceback
 from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
+from repro.net.message import decode_frames, encode_frames, route_frames
 from repro.net.nic import Switch
 from repro.sim.engine import SimError, Simulator
 
@@ -136,8 +189,10 @@ class PartitionSwitch(Switch):
     The per-source departure counter is inherited from :class:`Switch` and
     advanced for *every* frame a source transmits — foreign-destination
     frames included — so the ``(src, departure#)`` coordinates recorded in
-    the outbox equal the serial ones: a source's frames all depart from its
-    home partition's switch, in the source's own transmit order.
+    the outbox equal the serial ones: TX is serialised per NIC, so a
+    source's TX-start order (where :meth:`stage_tx` numbers foreign frames)
+    equals its hand-off order (where :meth:`Switch.transfer` numbers
+    co-resident frames), which is the source's own transmit order.
     """
 
     def __init__(self, sim, cfg, node_stats, owned):
@@ -147,15 +202,27 @@ class PartitionSwitch(Switch):
         #: ``(dst, t_arrival, t_departure, src, departure#, msg)``
         self.outbox: list[tuple] = []
 
+    def stage_tx(self, msg, t_dep: float) -> None:
+        """NIC TX-start probe: capture foreign frames at transmission start.
+
+        ``t_dep`` is the (already determined) instant the frame will be
+        handed to the switch; the driver refuses every configuration that
+        could perturb the transfer (faults, random drops), so the outbox
+        record written here is exactly what :meth:`transfer` would have
+        recorded ``send_overhead + wire`` later — shipping it up to one
+        barrier earlier.
+        """
+        if msg.dst in self.owned:
+            return
+        self.outbox.append(
+            (msg.dst, t_dep + self.cfg.switch_latency, t_dep,
+             msg.src, self.next_departure(msg.src), msg)
+        )
+
     def transfer(self, msg) -> None:
         if msg.dst in self.owned:
             super().transfer(msg)
-            return
-        now = self.sim.now
-        self.outbox.append(
-            (msg.dst, now + self.cfg.switch_latency, now,
-             msg.src, self.next_departure(msg.src), msg)
-        )
+        # foreign frames were already captured by stage_tx at TX start
 
     def take_outbox(self) -> list[tuple]:
         out, self.outbox = self.outbox, []
@@ -168,9 +235,11 @@ class PartitionSwitch(Switch):
         slot if a co-resident sender already created it (same arrival
         instant ⇒ same departure instant, λ being constant), otherwise the
         pump event is scheduled with the frame's *departure* time as its
-        ordering key — exactly what the serial switch would have used.
-        Injected arrival times always lie in the window about to run, so an
-        injected slot can never collide with one staged in a later window.
+        ordering key — exactly what the serial switch would have used.  An
+        early-shipped frame may arrive beyond the window about to run; its
+        slot then waits in the queue, and a co-resident frame staged into
+        the same ``(dst, t_arr)`` slot later simply appends (the pump sorts
+        each slot by ``(src, departure#)`` before delivering).
         """
         for dst, t_arr, t_dep, src, dep, msg in frames:
             key = (dst, t_arr)
@@ -181,6 +250,16 @@ class PartitionSwitch(Switch):
                 self.sim.schedule_keyed(t_arr, t_dep, 1, self._pump, key)
             else:
                 slot.append(entry)
+
+
+def _deltas_empty(deltas) -> bool:
+    """True when no oracle recorded any mutation (each delta is a tuple of
+    record lists, see ``drain_deltas`` in :mod:`repro.protocols.versioned`)."""
+    for d in deltas:
+        for records in d:
+            if records:
+                return False
+    return True
 
 
 # -- one partition's world --------------------------------------------------------
@@ -216,19 +295,131 @@ class PartitionWorld:
         self.pending = pending
         self._extract = extract_fn
         self._rank_stats = rank_stats_fn
+        self._cfg = cluster.netcfg
+        self._d_send = self._cfg.min_send_delay()
 
     def report(self) -> tuple:
-        """Barrier upload: (next event time, outbox, oracle deltas, events)."""
-        return (
-            self.sim.peek_next_time(),
-            self.switch.take_outbox(),
-            [o.drain_deltas() for o in self.oracles],
-            self.sim.events_processed,
-        )
+        """Barrier upload: ``("r", N, O)`` or ``("R", N, O, frames, deltas)``.
 
-    def advance(self, window_end: float, frames, foreign_deltas) -> None:
+        ``N`` is the next pending event time, ``O`` the output bound — the
+        earliest future instant this partition can influence another beyond
+        what this report already ships (start transmitting a new frame, or
+        mutate a shared oracle).  The short ``"r"`` form is the null-barrier
+        fast path: empty outbox, no oracle deltas.
+        """
+        n = self.sim.peek_next_time()
+        outbox = self.switch.take_outbox()
+        deltas = [o.drain_deltas() for o in self.oracles]
+        return ("r", n, self._output_bound()) if not outbox and \
+            _deltas_empty(deltas) else \
+            ("R", n, self._output_bound(), encode_frames(outbox), deltas)
+
+    def _output_bound(self) -> float:
+        """Earliest future instant this partition can influence another.
+
+        Every future cross-partition influence — a new frame reaching the
+        switch, or a shared-oracle mutation — originates at some *pending*
+        event, and the pending set is fully enumerable at a barrier (the
+        ready deque is always drained before a window breaks).  Walking it
+        and bounding each event by its mechanics beats the naive
+        ``N + δ_send``, because during communication phases the earliest
+        pending events are NIC bookkeeping that *cannot* act immediately:
+
+        * an arrival pump at ``t`` only hands its frame to a protocol
+          handler after the receive wire time (known — the staged frames
+          carry their sizes) plus ``recv_overhead``;
+        * a TX completion's whole remaining chain is committed — hand-off
+          instants follow from the backlog contents (TX is serialised per
+          NIC, nothing can preempt or reorder it), see
+          :meth:`_tx_chain_bound`;
+        * everything else (process resumptions, timers, receive
+          completions — which run delivery handlers) may call ``send()`` at
+          its own instant, costing ``δ_send`` to reach the switch (MPI), or
+          mutate an oracle right there (DSM, where the margin is zero).
+
+        Each rule is a lower bound under every admissible behaviour (busy
+        NICs and receive backlogs only delay things further), so the lease
+        the coordinator derives from it can never reach an influence.
+        """
+        sim = self.sim
+        cfg = self._cfg
+        d_send = 0.0 if self.oracles else self._d_send
+        recv = cfg.recv_overhead
+        tx_time = cfg.tx_time
+        staged = self.switch._staged
+        best = math.inf
+        if sim._ready:
+            # zero-delay work at the current instant: only the first report
+            # sees any (program start-ups are queued before the first
+            # window; every later report happens at a window break, where
+            # the run loop has drained the deque)
+            best = sim.now + d_send
+        for entry in sim._heap:
+            t = entry[0]
+            if t + d_send >= best:  # no rule can bound below t + δ_send
+                continue
+            if entry[2] == 1:  # arrival pump (sole class-1 event)
+                slot = staged.get(entry[5][0])
+                if slot:
+                    c = t + min(tx_time(m.size) for _, _, m in slot) \
+                        + recv + d_send
+                else:  # pragma: no cover - defensive (slot already drained)
+                    c = t + d_send
+            else:
+                fn = entry[4]
+                if getattr(fn, "__name__", None) == "_tx_done":
+                    c = self._tx_chain_bound(fn.__self__, t, entry[5][0], best)
+                else:
+                    c = t + d_send
+            if c < best:
+                best = c
+        theads = sim._timer_heads
+        if theads:
+            c = theads[0][0] + d_send
+            if c < best:
+                best = c
+        return best
+
+    def _tx_chain_bound(self, nic, t_done, msg, best) -> float:
+        """Earliest foreign influence of one NIC's committed TX chain.
+
+        ``t_done`` is the pending completion of the in-flight frame ``msg``.
+        A *foreign* in-flight frame was already captured at TX start (it
+        ships with this very report, so the coordinator bounds it through
+        the routed arrival times instead); a foreign *backlogged* frame's
+        hand-off instant is its influence bound — it will be captured when
+        its TX starts inside a window and shipped at the next barrier, so
+        the lease must stop λ short of its arrival.  An *internal* hand-off
+        influences other partitions only once its delivery handler runs,
+        λ + wire + recv_overhead later (plus δ_send for MPI, where the
+        handler must reach the switch through its own NIC).
+        """
+        cfg = self._cfg
+        owned = self.switch.owned
+        tail = cfg.switch_latency + cfg.recv_overhead
+        if not self.oracles:
+            tail += self._d_send
+        tx_time = cfg.tx_time
+        overhead = cfg.send_overhead
+        if msg.dst in owned:
+            c = t_done + tx_time(msg.size) + tail
+            if c < best:
+                best = c
+        handoff = t_done
+        for m in nic._tx_backlog:
+            handoff += overhead + tx_time(m.size)
+            if handoff >= best:  # chain instants only grow
+                break
+            c = handoff + tx_time(m.size) + tail if m.dst in owned else handoff
+            if c < best:
+                best = c
+        return best
+
+    def advance(self, window_end: float, frames_buf: bytes = b"",
+                foreign_deltas=()) -> None:
         """Barrier download + one window: inject, apply, run ``[now, W)``."""
-        self.switch.inject(frames)
+        if frames_buf:
+            self.switch.inject(decode_frames(frames_buf))
         for deltas in foreign_deltas:
             for oracle, d in zip(self.oracles, deltas):
                 oracle.apply_deltas(d)
@@ -256,7 +447,7 @@ class PartitionWorld:
 def _build_world(index, owned, app_module, protocol, nprocs, config, variant,
                  netcfg, nodecfg, trace) -> PartitionWorld:
     """Construct one partition's replica (identical code path to serial)."""
-    sim = Simulator(queue="calendar")
+    sim = Simulator(queue="auto")
     if protocol == "mpi":
         from repro.mpi.comm import MpiSystem
 
@@ -285,6 +476,10 @@ def _build_world(index, owned, app_module, protocol, nprocs, config, variant,
         oracles = (system.dsm.directory, system.dsm.views)
         rank_stats_fn = system.dsm.stats_for
         extract_fn = lambda: app_module.extract(system, config)  # noqa: E731
+    # owned NICs feed the TX-start probe so cross-partition frames ship at
+    # transmission start (foreign replicas never transmit — no probe needed)
+    for i in owned:
+        cluster.nodes[i].nic.tx_probe = switch.stage_tx
     for oracle in oracles:
         oracle.capture_deltas()
     pending = system.start_program(body, ranks=owned)
@@ -296,19 +491,28 @@ def _build_world(index, owned, app_module, protocol, nprocs, config, variant,
 
 
 class _InlinePort:
-    """All partitions in one process: commands execute synchronously."""
+    """All partitions in one process: commands execute synchronously.
+
+    Dispatches the same ``("s",)/("S",)/("finish",)`` command tuples the
+    fork pipes carry, so inline mode exercises the identical wire protocol
+    (including the frame codec — payloads are pickle-copied, not shared).
+    """
 
     def __init__(self, build: Callable[[], PartitionWorld], want_output: bool):
         self.world = build()
         self.want_output = want_output
-        self._reply: Any = ("report", self.world.report())
+        self._reply: Any = self.world.report()
 
-    def send_step(self, window_end, frames, deltas) -> None:
-        self.world.advance(window_end, frames, deltas)
-        self._reply = ("report", self.world.report())
-
-    def send_finish(self) -> None:
-        self._reply = ("done", self.world.finalize(self.want_output))
+    def send(self, cmd) -> None:
+        tag = cmd[0]
+        if tag == "s":
+            self.world.advance(cmd[1])
+            self._reply = self.world.report()
+        elif tag == "S":
+            self.world.advance(cmd[1], cmd[2], cmd[3])
+            self._reply = self.world.report()
+        else:  # "finish"
+            self._reply = ("done", self.world.finalize(self.want_output))
 
     def recv(self):
         reply, self._reply = self._reply, None
@@ -325,18 +529,21 @@ def _worker_main(conn, index, build, want_output, msg_id_base) -> None:
 
         set_msg_id_base(msg_id_base)
         world = build()
-        conn.send(("report", world.report()))
+        conn.send(world.report())
         while True:
             cmd = conn.recv()
-            if cmd[0] == "step":
-                _, window_end, frames, deltas = cmd
-                world.advance(window_end, frames, deltas)
-                conn.send(("report", world.report()))
-            elif cmd[0] == "finish":
+            tag = cmd[0]
+            if tag == "s":  # bare window grant: nothing to download
+                world.advance(cmd[1])
+                conn.send(world.report())
+            elif tag == "S":  # window grant + frame bytes + foreign deltas
+                world.advance(cmd[1], cmd[2], cmd[3])
+                conn.send(world.report())
+            elif tag == "finish":
                 conn.send(("done", world.finalize(want_output)))
                 return
             else:  # pragma: no cover - protocol bug
-                raise RuntimeError(f"unknown PDES command {cmd[0]!r}")
+                raise RuntimeError(f"unknown PDES command {tag!r}")
     except BaseException:
         try:
             conn.send(("error", traceback.format_exc()))
@@ -361,11 +568,8 @@ class _ForkPort:
         self.proc.start()
         child.close()
 
-    def send_step(self, window_end, frames, deltas) -> None:
-        self.conn.send(("step", window_end, frames, deltas))
-
-    def send_finish(self) -> None:
-        self.conn.send(("finish",))
+    def send(self, cmd) -> None:
+        self.conn.send(cmd)
 
     def recv(self):
         try:
@@ -387,39 +591,128 @@ class _ForkPort:
 # -- the window loop --------------------------------------------------------------
 
 
-def _drive(ports, owner_of, lam) -> tuple[list[PartitionResult], int]:
-    """Run the window protocol over a set of ports; return results + #windows."""
+def _drive(ports, owner_of, netcfg, has_oracles, batching, observer=None):
+    """Run the window protocol over a set of ports.
+
+    Returns ``(finals, stats)`` with ``stats`` carrying the barrier
+    accounting: ``windows`` (barrier round-trips actually performed),
+    ``elided_windows`` (rounds in which every partition reported null and
+    the frame/delta exchange was skipped), ``leased_windows`` (extra
+    λ-windows granted beyond the first by multi-window leases) and
+    ``frame_bytes`` (encoded cross-partition frame bytes routed, counted
+    once per frame on the download side).
+
+    ``observer``, when given, is called once per round with a dict
+    ``{"T", "window_end", "arrivals", "null"}`` — the property tests use it
+    to check the lease-safety invariant (every injected arrival lies at or
+    beyond the previous round's window end).
+    """
     nparts = len(ports)
-    replies = [_expect(port.recv(), "report", i) for i, port in enumerate(ports)]
-    windows = 0
+    lam = netcfg.lookahead()
+    # earliest further influence induced by an injected frame: its handler
+    # runs only once the frame clears the receive wire (size-dependent —
+    # route_frames folds the per-byte part into load_mins) plus the header
+    # wire time and receive overhead; a DSM handler can mutate an oracle
+    # right there, an MPI handler must pay δ_send to reach the switch
+    byte_seconds = 8.0 / netcfg.bandwidth_bps
+    d_induced = netcfg.min_deliver_delay()
+    if not has_oracles:
+        d_induced += netcfg.min_send_delay()
+    replies = [_expect(port.recv(), i) for i, port in enumerate(ports)]
+    windows = elided = leased = 0
+    frame_bytes = 0
     while True:
-        inboxes: list[list] = [[] for _ in range(nparts)]
-        deltas = [r[2] for r in replies]
-        T = min(r[0] for r in replies)
-        for r in replies:
-            for frame in r[1]:
-                inboxes[owner_of[frame[0]]].append(frame)
-                if frame[1] < T:
-                    T = frame[1]
+        buffers = []
+        delta_of: list = [None] * nparts
+        null_round = True
+        for i, r in enumerate(replies):
+            if r[0] == "R":
+                null_round = False
+                buffers.append(r[3])
+                if not _deltas_empty(r[4]):
+                    delta_of[i] = r[4]
+        T = min(r[1] for r in replies)
+        if buffers:
+            inboxes, arrival_mins, load_mins = route_frames(
+                buffers, owner_of, nparts, byte_seconds)
+            t = min(arrival_mins)
+            if t < T:
+                T = t
+        else:
+            inboxes = arrival_mins = load_mins = None
         if T == math.inf:
             break
         windows += 1
+        if batching:
+            # lease horizon: λ past the earliest possible cross-partition
+            # influence, from each partition's own bound O and from the
+            # frames injected this round (see module docstring)
+            horizon = math.inf
+            for i, r in enumerate(replies):
+                b = r[2]
+                if load_mins is not None:
+                    induced = load_mins[i] + d_induced
+                    if induced < b:
+                        b = induced
+                if b < horizon:
+                    horizon = b
+            window_end = horizon + lam
+            floor = T + lam
+            if window_end < floor:
+                window_end = floor
+            if window_end == math.inf:
+                # terminal lease: no partition can ever influence another
+                # again (every pending chain is influence-free), so everyone
+                # runs to completion in this one window
+                leased += 1
+            else:
+                extra = int((window_end - T) / lam) - 1
+                if extra > 0:
+                    leased += extra
+            if null_round:
+                elided += 1
+        else:
+            window_end = T + lam
+        if observer is not None:
+            observer({
+                "T": T,
+                "window_end": window_end,
+                "arrivals": [] if arrival_mins is None
+                else [t for t in arrival_mins if t != math.inf],
+                "null": null_round,
+            })
         for i, port in enumerate(ports):
-            foreign = [d for j, d in enumerate(deltas) if j != i]
-            port.send_step(T + lam, inboxes[i], foreign)
-        replies = [_expect(port.recv(), "report", i) for i, port in enumerate(ports)]
+            buf = inboxes[i] if inboxes is not None else b""
+            foreign = [d for j, d in enumerate(delta_of)
+                       if j != i and d is not None]
+            if buf or foreign:
+                frame_bytes += len(buf)
+                port.send(("S", window_end, buf, foreign))
+            else:
+                port.send(("s", window_end))
+        replies = [_expect(port.recv(), i) for i, port in enumerate(ports)]
     for port in ports:
-        port.send_finish()
-    finals = [_expect(port.recv(), "done", i) for i, port in enumerate(ports)]
-    return finals, windows
+        port.send(("finish",))
+    finals = [_expect(port.recv(), i, tag="done") for i, port in enumerate(ports)]
+    stats = {
+        "windows": windows,
+        "elided_windows": elided,
+        "leased_windows": leased,
+        "frame_bytes": frame_bytes,
+    }
+    return finals, stats
 
 
-def _expect(reply, tag, index):
+def _expect(reply, index, tag=None):
     if reply[0] == "error":
         raise PdesError(f"partition {index} failed:\n{reply[1]}")
-    if reply[0] != tag:  # pragma: no cover - protocol bug
-        raise PdesError(f"partition {index}: expected {tag!r}, got {reply[0]!r}")
-    return reply[1]
+    if tag is not None:
+        if reply[0] != tag:  # pragma: no cover - protocol bug
+            raise PdesError(f"partition {index}: expected {tag!r}, got {reply[0]!r}")
+        return reply[1]
+    if reply[0] not in ("r", "R"):  # pragma: no cover - protocol bug
+        raise PdesError(f"partition {index}: expected a report, got {reply[0]!r}")
+    return reply
 
 
 # -- public driver ----------------------------------------------------------------
@@ -434,10 +727,13 @@ class PdesOutcome:
     time: float
     results: dict  # rank -> program return value
     events: int  # sum of per-partition executed callbacks
-    windows: int
+    windows: int  # barrier round-trips performed
     workers: int
     tracer: Any  # merged EventTracer, or None
     timer_spills: int
+    elided_windows: int = 0  # rounds that skipped the frame/delta exchange
+    leased_windows: int = 0  # extra λ-windows granted by multi-window leases
+    frame_bytes: int = 0  # encoded cross-partition frame bytes routed
 
 
 def run_partitioned(
@@ -454,6 +750,8 @@ def run_partitioned(
     view_tracer=None,
     metrics=None,
     faults=None,
+    batching: bool = True,
+    observer=None,
 ) -> PdesOutcome:
     """Run one application under the partitioned driver.
 
@@ -461,8 +759,10 @@ def run_partitioned(
     same output arrays, same merged statistics (and therefore the same
     benchmark fingerprint), same simulated time.  ``events`` differs from
     serial by exactly ``(workers - 1) * nprocs`` replica dispatcher
-    start-ups.  Raises :class:`PdesError` for configurations the conservative
-    scheme cannot replay (see module docstring).
+    start-ups.  ``batching=False`` turns off window leases (every window is
+    the minimal ``[T, T+λ)``) for conformance comparison.  Raises
+    :class:`PdesError` for configurations the conservative scheme cannot
+    replay (see module docstring).
     """
     from repro.net.config import NetConfig
 
@@ -481,7 +781,7 @@ def run_partitioned(
     if netcfg.random_drop_prob > 0.0:
         raise PdesError("random_drop_prob draws a global RNG stream; run serially")
     try:
-        lam = netcfg.lookahead()
+        netcfg.lookahead()
     except ValueError as exc:
         raise PdesError(str(exc)) from None
     if mode not in ("fork", "inline"):
@@ -506,17 +806,30 @@ def run_partitioned(
                 ports.append(_InlinePort(make_builder(p), want_output=(p == 0)))
         else:
             ctx = multiprocessing.get_context("fork")
-            for p in range(len(parts)):
-                ports.append(_ForkPort(ctx, p, make_builder(p), want_output=(p == 0)))
-        finals, windows = _drive(ports, owner_of, lam)
+            # collect + freeze before forking (the standard fork-server
+            # recipe): the children inherit the parent's heap copy-on-write,
+            # so parent garbage — e.g. a serial reference run the caller just
+            # finished — would otherwise be walked by every child's first GC
+            # pass, dirtying pages and stalling all partitions
+            gc.collect()
+            gc.freeze()
+            try:
+                for p in range(len(parts)):
+                    ports.append(
+                        _ForkPort(ctx, p, make_builder(p), want_output=(p == 0)))
+            finally:
+                gc.unfreeze()
+        finals, wstats = _drive(ports, owner_of, netcfg,
+                                has_oracles=(protocol != "mpi"),
+                                batching=batching, observer=observer)
     finally:
         for port in ports:
             port.close()
 
-    return _merge(finals, windows, protocol, nprocs, len(parts), trace)
+    return _merge(finals, wstats, protocol, nprocs, len(parts), trace)
 
 
-def _merge(finals, windows, protocol, nprocs, nparts, trace) -> PdesOutcome:
+def _merge(finals, wstats, protocol, nprocs, nparts, trace) -> PdesOutcome:
     """Assemble the serial-equivalent observables from partition results."""
     from repro.net.stats import NetStats
 
@@ -551,8 +864,11 @@ def _merge(finals, windows, protocol, nprocs, nparts, trace) -> PdesOutcome:
         time=time,
         results=results,
         events=sum(f.events for f in finals),
-        windows=windows,
+        windows=wstats["windows"],
         workers=nparts,
         tracer=tracer,
         timer_spills=sum(f.timer_spills for f in finals),
+        elided_windows=wstats["elided_windows"],
+        leased_windows=wstats["leased_windows"],
+        frame_bytes=wstats["frame_bytes"],
     )

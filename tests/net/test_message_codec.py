@@ -1,0 +1,96 @@
+"""The PDES frame codec: struct-packed batches and header-only routing."""
+
+import math
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.net.message import (
+    Message,
+    MessageKind,
+    decode_frames,
+    encode_frames,
+    route_frames,
+)
+
+
+def _frame(dst, t_arr, t_dep, src, dep, *, kind=MessageKind.MPI_DATA,
+           payload=None, size=128, need_ack=True, req_id=None,
+           is_reply=False):
+    msg = Message(
+        src=src, dst=dst, kind=kind,
+        payload=payload if payload is not None else {"tag": dep},
+        size=size, need_ack=need_ack, req_id=req_id, is_reply=is_reply,
+    )
+    return (dst, t_arr, t_dep, src, dep, msg)
+
+
+def test_roundtrip_preserves_all_fields():
+    frames = [
+        _frame(3, 1e-3, 0.5e-3, 0, 0),
+        _frame(1, 2e-3, 1.5e-3, 2, 7, kind=MessageKind.DIFF_REPLY,
+               payload=np.arange(4.0), size=4096, req_id=42, is_reply=True),
+        _frame(2, 3e-3, 2.5e-3, 1, 1, kind=MessageKind.ACK,
+               payload=None, size=0, need_ack=False),
+    ]
+    out = decode_frames(encode_frames(frames))
+    assert len(out) == len(frames)
+    for (dst, t_arr, t_dep, src, dep, msg), \
+            (odst, ot_arr, ot_dep, osrc, odep, omsg) in zip(frames, out):
+        assert (odst, ot_arr, ot_dep, osrc, odep) == (dst, t_arr, t_dep, src, dep)
+        for f in ("src", "dst", "kind", "size", "need_ack", "req_id",
+                  "is_reply", "msg_id", "attempt"):
+            assert getattr(omsg, f) == getattr(msg, f)
+        assert pickle.dumps(omsg.payload) == pickle.dumps(msg.payload)
+
+
+def test_empty_batch_is_null_barrier_sentinel():
+    assert encode_frames([]) == b""
+    assert decode_frames(b"") == []
+
+
+def test_route_frames_splits_by_destination_partition():
+    dest_of = {0: 0, 1: 0, 2: 1, 3: 1}
+    buf_a = encode_frames([_frame(2, 5e-3, 4e-3, 0, 0),
+                           _frame(1, 3e-3, 2e-3, 3, 0)])
+    buf_b = encode_frames([_frame(3, 7e-3, 6e-3, 1, 1)])
+    chunks, mins, loads = route_frames([buf_a, buf_b], dest_of, nparts=2)
+    routed = [decode_frames(c) for c in chunks]
+    assert [f[0] for f in routed[0]] == [1]
+    assert sorted(f[0] for f in routed[1]) == [2, 3]
+    assert mins == [3e-3, 5e-3]
+    # byte_seconds=0 ⇒ load bound degenerates to the arrival bound
+    assert loads == mins
+    # routing slices records through verbatim — no field survives mangled
+    relayed = {f[5].msg_id: f for c in routed for f in c}
+    original = {f[5].msg_id: f for f in
+                decode_frames(buf_a) + decode_frames(buf_b)}
+    assert relayed.keys() == original.keys()
+    for msg_id, frame in relayed.items():
+        assert frame[:5] == original[msg_id][:5]
+        assert frame[5].payload == original[msg_id][5].payload
+
+
+def test_route_frames_empty_partition_gets_sentinel():
+    chunks, mins, loads = route_frames(
+        [encode_frames([_frame(0, 1e-3, 0.5e-3, 2, 0)])],
+        {0: 0, 2: 1}, nparts=2,
+    )
+    assert chunks[1] == b""
+    assert mins[1] == math.inf and loads[1] == math.inf
+
+
+def test_route_frames_load_bound_is_size_aware():
+    """A large frame's induced bound must include its receive-wire time."""
+    byte_seconds = 8.0 / 100e6
+    big = _frame(0, 1e-3, 0.9e-3, 1, 0, size=2048)
+    small = _frame(0, 1.1e-3, 1.0e-3, 1, 1, size=0)
+    _, mins, loads = route_frames(
+        [encode_frames([big, small])], {0: 0, 1: 1}, nparts=2,
+        byte_seconds=byte_seconds,
+    )
+    assert mins[0] == 1e-3  # the big frame still arrives first...
+    # ...but the zero-size frame clears the wire sooner
+    assert loads[0] == pytest.approx(1.1e-3)
+    assert loads[0] < 1e-3 + byte_seconds * 2048

@@ -168,3 +168,31 @@ def test_parser_has_all_commands():
     text = parser.format_help()
     for cmd in ("run", "table", "sweep", "trace", "list"):
         assert cmd in text
+
+
+def test_run_pdes_prints_window_accounting(capsys):
+    assert main(["run", "nn", "--protocol", "mpi", "--nprocs", "8",
+                 "--pdes-workers", "2", "--pdes-mode", "inline"]) == 0
+    out = capsys.readouterr().out
+    assert "PDES:" in out and "windows" in out
+    assert "elided" in out and "leased" in out and "frame bytes" in out
+
+
+def test_profile_command_prints_hot_functions(capsys, tmp_path):
+    pstats_path = tmp_path / "prof.pstats"
+    assert main(["profile", "sor", "--protocol", "vc_sd", "--nprocs", "2",
+                 "--top", "5", "--profile-out", str(pstats_path)]) == 0
+    out = capsys.readouterr().out
+    assert "cumulative" in out  # pstats header
+    assert "run" in out
+    assert pstats_path.exists()
+
+    import pstats
+
+    stats = pstats.Stats(str(pstats_path))
+    assert stats.total_calls > 0
+
+
+def test_profile_mpi_on_non_nn_rejected(capsys):
+    assert main(["profile", "is", "--protocol", "mpi", "--nprocs", "2"]) == 2
+    assert "no MPI version" in capsys.readouterr().err
