@@ -86,6 +86,7 @@ class AppResult:
     breakdown: Any = None  # per-process time attribution (traced runs only)
     metrics: Any = None  # repro.obs.Metrics registry (metered runs only)
     pdes: Any = None  # window-protocol accounting dict (partitioned runs only)
+    consistency: Any = None  # oracle report JSON dict (checked sweep cells only)
 
     def table_row(self) -> dict:
         if hasattr(self.stats, "table_row"):
@@ -105,6 +106,7 @@ def run_app(
     tracer: Any = None,
     view_tracer: Any = None,
     metrics: Any = None,
+    oracle: Any = None,
     faults: Any = None,
     pdes_workers: Optional[int] = None,
     pdes_mode: str = "fork",
@@ -122,9 +124,13 @@ def run_app(
     :class:`repro.tools.tracer.ViewTracer`) records view-level sync events
     (DSM protocols only); ``metrics`` (a :class:`repro.obs.Metrics`) collects
     per-view/per-page contention metrics and is handed back on
-    ``AppResult.metrics``; ``faults`` (a :class:`repro.faults.FaultPlan` or
-    pre-built :class:`~repro.faults.FaultInjector`) injects scripted network
-    and node faults.
+    ``AppResult.metrics``; ``oracle`` (a
+    :class:`repro.obs.oracle.AccessRecorder`) records the access history for
+    the consistency oracle (under PDES the caller's recorder receives the
+    merged per-partition history); ``faults`` (a
+    :class:`repro.faults.FaultPlan` or pre-built
+    :class:`~repro.faults.FaultInjector`) injects scripted network and node
+    faults.
 
     An exhausted retransmission budget or a fail-stop crash episode raises
     :class:`repro.faults.RunAborted` carrying a structured
@@ -141,7 +147,8 @@ def run_app(
             app_module, protocol=protocol, nprocs=nprocs, config=config,
             variant=variant, workers=pdes_workers, mode=pdes_mode,
             netcfg=netcfg, nodecfg=nodecfg, trace=tracer is not None,
-            view_tracer=view_tracer, metrics=metrics, faults=faults,
+            oracle=oracle is not None, view_tracer=view_tracer,
+            metrics=metrics is not None, faults=faults,
             batching=pdes_batching,
         )
         result = AppResult(
@@ -164,6 +171,15 @@ def run_app(
             tracer._mid.clear()
             tracer._mid.update(outcome.tracer._mid)
             result.breakdown = tracer.breakdown()
+        if oracle is not None:
+            # hand the merged history back through the caller's recorder
+            oracle.events[:] = outcome.oracle.events
+        if metrics is not None:
+            # copy the merged registry into the caller's Metrics object
+            metrics.counters.update(outcome.metrics.counters)
+            metrics.gauges.update(outcome.metrics.gauges)
+            metrics.histograms.update(outcome.metrics.histograms)
+            result.metrics = metrics
         if verify:
             expected = app_module.sequential(config)
             result.verified = app_module.outputs_match(result.output, expected)
@@ -182,6 +198,11 @@ def run_app(
             cluster.sim.tracer = tracer
         if metrics is not None:
             cluster.sim.metrics = metrics
+        if oracle is not None:
+            # MPI has no shared pages: the recorder stays empty and the
+            # checker reports "not-applicable", but installing it keeps the
+            # call surface uniform
+            cluster.sim.oracle = oracle
         if faults is not None:
             cluster.install_faults(faults)
         output = _run_or_abort(cluster, lambda: app_module.run_mpi(system, config))
@@ -196,6 +217,8 @@ def run_app(
             system.sim.tracer = tracer
         if metrics is not None:
             system.sim.metrics = metrics
+        if oracle is not None:
+            system.sim.oracle = oracle
         if view_tracer is not None:
             system.dsm.tracer = view_tracer
         if faults is not None:

@@ -48,12 +48,18 @@ def _grid_cell(
     seed: int,
     base_plan: Optional[FaultPlan],
     verify: bool,
+    check: bool = False,
 ) -> dict:
     episodes = base_plan.episodes if base_plan is not None else ()
     if loss_rate > 0.0:
         episodes = episodes + (Episode(kind="loss", drop_prob=loss_rate),)
     plan = FaultPlan(episodes, seed=seed)
     injector = FaultInjector(plan)
+    oracle = None
+    if check:
+        from repro.obs.oracle import AccessRecorder
+
+        oracle = AccessRecorder()
     cell = {
         "app": app,
         "protocol": protocol,
@@ -61,9 +67,25 @@ def _grid_cell(
         "loss_rate": loss_rate,
         "seed": seed,
     }
+
+    def _checked(aborted: bool) -> None:
+        if oracle is None:
+            return
+        from repro.obs.oracle import check_history
+
+        # on an aborted run the recorder holds the partial history up to the
+        # failure — still checkable: a fault must never corrupt consistency
+        report = check_history(oracle, nprocs=nprocs, protocol=protocol,
+                               aborted=aborted)
+        cell["consistency"] = {
+            "verdict": report.verdict,
+            "findings": len(report.findings),
+        }
+
     try:
         result = run_app(
-            APPS[app], protocol, nprocs, verify=verify, faults=injector
+            APPS[app], protocol, nprocs, verify=verify, faults=injector,
+            oracle=oracle,
         )
     except RunAborted as exc:
         # hostile enough to exhaust the retry budget: report, don't crash
@@ -73,7 +95,9 @@ def _grid_cell(
                 "failure": exc.failure.to_json(),
             }
         )
+        _checked(aborted=True)
         return cell
+    _checked(aborted=False)
     net = result.stats.net if hasattr(result.stats, "net") else result.stats
     cell.update(
         {
@@ -98,6 +122,7 @@ def run_degradation_grid(
     seed: int = 7,
     base_plan: Optional[FaultPlan] = None,
     verify: bool = True,
+    check: bool = False,
 ) -> dict:
     """Run the grid and return the report dict (``BENCH_faults.json`` shape).
 
@@ -105,6 +130,8 @@ def run_degradation_grid(
     ``--faults PLAN.json`` file) apply to every cell; the loss episode sweep
     is layered on top.  Slowdown is relative to each protocol's rate-0 cell
     (with the same base plan), so the curves isolate the *loss* response.
+    ``check`` runs every cell — including aborted ones, on their partial
+    history — under the consistency oracle and attaches the verdict.
     """
     loss_rates = tuple(sorted(set(float(r) for r in loss_rates)))
     if not loss_rates:
@@ -113,7 +140,9 @@ def run_degradation_grid(
     for protocol in protocols:
         baseline_time: Optional[float] = None
         for rate in loss_rates:
-            cell = _grid_cell(app, protocol, nprocs, rate, seed, base_plan, verify)
+            cell = _grid_cell(
+                app, protocol, nprocs, rate, seed, base_plan, verify, check
+            )
             if not cell["failed"]:
                 if baseline_time is None and rate == loss_rates[0]:
                     baseline_time = cell["time"]

@@ -145,6 +145,11 @@ class SweepReport:
                         if getattr(c.result, "breakdown", None) is not None
                         else {}
                     ),
+                    **(
+                        {"consistency": c.result.consistency}
+                        if getattr(c.result, "consistency", None) is not None
+                        else {}
+                    ),
                 }
                 for c in self.cells
             ],
@@ -188,6 +193,7 @@ def cell_key(
     code_fp: Optional[str] = None,
     trace: bool = False,
     pdes_workers: Optional[int] = None,
+    check: bool = False,
 ) -> str:
     """Content-addressed cache key for one cell.
 
@@ -196,6 +202,8 @@ def cell_key(
     recalls an untraced cached entry or pollutes the untraced cache.
     Partitioned (PDES) runs likewise key separately — the simulated results
     are bit-identical, but the host-side wall/throughput figures are not.
+    Consistency-checked runs (``check``) key separately too: their results
+    carry the oracle verdict.
     """
     material = {
         "app": cell.app,
@@ -210,6 +218,8 @@ def cell_key(
         material["trace"] = True
     if pdes_workers is not None and pdes_workers > 1:
         material["pdes_workers"] = pdes_workers
+    if check:
+        material["check"] = True
     return hashlib.sha256(
         json.dumps(material, sort_keys=True, default=repr).encode()
     ).hexdigest()
@@ -249,19 +259,27 @@ def _execute_cell(
     verify: bool,
     trace: bool = False,
     pdes_workers: Optional[int] = None,
+    check: bool = False,
 ) -> tuple[AppResult, float, int]:
     """Run one cell; returns (result, wall seconds, peak RSS KiB).
 
     Module-level so a ``ProcessPoolExecutor`` worker can pickle it.  With
     ``trace`` the run records structured events and the result carries a
     time breakdown (the event list itself is not kept — it can be huge).
+    With ``check`` the run records its access history, the consistency
+    oracle verifies it, and the result carries the report on
+    ``result.consistency`` (the history itself is not kept).
     """
     t0 = time.perf_counter()
-    tracer = None
+    tracer = oracle = None
     if trace:
         from repro.obs import EventTracer
 
         tracer = EventTracer()
+    if check:
+        from repro.obs.oracle import AccessRecorder
+
+        oracle = AccessRecorder()
     result = run_app(
         APPS[cell.app],
         cell.protocol,
@@ -270,20 +288,28 @@ def _execute_cell(
         variant=cell.variant,
         verify=verify,
         tracer=tracer,
+        oracle=oracle,
         pdes_workers=pdes_workers,
     )
+    if oracle is not None:
+        from repro.obs.oracle import check_history
+
+        report = check_history(oracle, nprocs=cell.nprocs, protocol=cell.protocol)
+        result.consistency = report.to_json()
     wall = time.perf_counter() - t0
     rss_kb = int(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
     return result, wall, rss_kb
 
 
 def _worker(
-    args: tuple[SweepCell, bool, Optional[str], str, bool, Optional[int]]
+    args: tuple[SweepCell, bool, Optional[str], str, bool, Optional[int], bool]
 ) -> tuple[AppResult, float, int]:
-    cell, verify, cache_root, code_fp, trace, pdes_workers = args
-    out = _execute_cell(cell, verify, trace, pdes_workers)
+    cell, verify, cache_root, code_fp, trace, pdes_workers, check = args
+    out = _execute_cell(cell, verify, trace, pdes_workers, check)
     if cache_root is not None:
-        ResultCache(cache_root).put(cell_key(cell, code_fp, trace, pdes_workers), *out)
+        ResultCache(cache_root).put(
+            cell_key(cell, code_fp, trace, pdes_workers, check), *out
+        )
     return out
 
 
@@ -294,6 +320,7 @@ def run_sweep(
     verify: bool = True,
     trace: bool = False,
     pdes_workers: Optional[int] = None,
+    check: bool = False,
 ) -> SweepReport:
     """Run every cell, using the cache and up to ``jobs`` worker processes.
 
@@ -302,11 +329,13 @@ def run_sweep(
     process — the results are identical either way.  ``pdes_workers``
     executes each cell under the partitioned engine (fork mode), so keep
     ``jobs=1`` when setting it — the partitions are the parallelism.
+    ``check`` runs every cell under the consistency oracle and attaches the
+    verdict to each result (see :mod:`repro.obs.oracle`).
     """
     t_start = time.perf_counter()
     code_fp = code_fingerprint()
     cache = ResultCache(cache_dir) if cache_dir is not None else None
-    keys = [cell_key(cell, code_fp, trace, pdes_workers) for cell in cells]
+    keys = [cell_key(cell, code_fp, trace, pdes_workers, check) for cell in cells]
 
     slots: list[Optional[CellResult]] = [None] * len(cells)
     misses: list[int] = []
@@ -320,7 +349,7 @@ def run_sweep(
 
     if misses and jobs > 1:
         work = [
-            (cells[i], verify, cache_dir, code_fp, trace, pdes_workers)
+            (cells[i], verify, cache_dir, code_fp, trace, pdes_workers, check)
             for i in misses
         ]
         with ProcessPoolExecutor(max_workers=min(jobs, len(misses))) as pool:
@@ -329,7 +358,9 @@ def run_sweep(
                 slots[i] = CellResult(cells[i], result, wall, rss_kb, cache_hit=False)
     else:
         for i in misses:
-            result, wall, rss_kb = _execute_cell(cells[i], verify, trace, pdes_workers)
+            result, wall, rss_kb = _execute_cell(
+                cells[i], verify, trace, pdes_workers, check
+            )
             if cache is not None:
                 cache.put(keys[i], result, wall, rss_kb)
             slots[i] = CellResult(cells[i], result, wall, rss_kb, cache_hit=False)

@@ -5,6 +5,14 @@ Commands
 ``run APP``
     Run one application on one protocol and print the paper-style statistics
     row (``--protocol``, ``--nprocs``, ``--variant``).
+``check APP``
+    Run one application with access-history recording and machine-check the
+    recorded read/write history against the protocol family's memory model
+    (the consistency oracle, :mod:`repro.obs.oracle`).  Exit code 4 when the
+    oracle finds violations; ``--findings-out`` dumps the structured
+    findings as JSON.  ``run``/``trace`` accept ``--check-consistency`` to
+    piggyback the same check on a normal run, and ``sweep`` accepts it to
+    check every matrix (or degradation-grid) cell.
 ``table N``
     Regenerate paper table N (1–9) and print it with the paper's published
     values alongside.
@@ -113,6 +121,32 @@ def _print_message_mix(stats) -> None:
         print(f"  {name:<20} {rec['count']:>8} msgs  {rec['bytes']:>12,} bytes")
 
 
+def _make_oracle(args: argparse.Namespace):
+    """An AccessRecorder when --check-consistency / --findings-out ask for one."""
+    if getattr(args, "check_consistency", False) or getattr(args, "findings_out", None):
+        from repro.obs.oracle import AccessRecorder
+
+        return AccessRecorder()
+    return None
+
+
+def _check_consistency(
+    oracle, protocol: str, nprocs: int, args: argparse.Namespace,
+    aborted: bool = False,
+) -> int:
+    """Check a recorded history, print the report, return 0 or 4."""
+    from repro.obs.oracle import EXIT_CONSISTENCY, check_history, format_oracle_report
+
+    report = check_history(oracle, nprocs=nprocs, protocol=protocol, aborted=aborted)
+    print()
+    print(format_oracle_report(report))
+    out = getattr(args, "findings_out", None)
+    if out:
+        report.write_json(out)
+        print(f"wrote consistency findings to {out}")
+    return EXIT_CONSISTENCY if report.verdict == "violations" else 0
+
+
 def _write_trace_outputs(tracer, args: argparse.Namespace) -> None:
     from repro.obs import chrome_trace, validate_chrome_trace, write_chrome_trace, write_jsonl
 
@@ -155,6 +189,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         from repro.tools.tracer import ViewTracer
 
         view_tracer = ViewTracer()
+    oracle = _make_oracle(args)
     try:
         result = run_app(
             app,
@@ -166,6 +201,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             tracer=tracer,
             view_tracer=view_tracer,
             metrics=metrics,
+            oracle=oracle,
             faults=_load_faults(args),
             pdes_workers=args.pdes_workers,
             pdes_mode=args.pdes_mode,
@@ -173,6 +209,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
     except _pdes_error() as exc:
         print(f"error: --pdes-workers: {exc}", file=sys.stderr)
         return 2
+    except RunAborted as exc:
+        if oracle is None:
+            raise
+        # the run failed on an injected fault: still check the partial
+        # history — a fault may cost time, never consistency
+        print(format_failure(exc.failure), file=sys.stderr)
+        code = _check_consistency(
+            oracle, args.protocol, args.nprocs, args, aborted=True
+        )
+        return code or EXIT_RUN_FAILURE
     status = "verified against sequential reference" if result.verified else "NOT verified"
     workers = f", {args.pdes_workers} PDES partitions" if args.pdes_workers else ""
     print(f"{args.app} on {args.protocol}, {args.nprocs} processors{workers} ({status})")
@@ -202,7 +248,54 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if view_tracer is not None:
         print()
         print(view_tracer.report())
+    if oracle is not None:
+        return _check_consistency(oracle, args.protocol, args.nprocs, args)
     return 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    """Record one run's access history and verify the memory-model contract."""
+    app = APPS[args.app]
+    if args.protocol == "mpi" and not hasattr(app, "run_mpi"):
+        print(f"error: {args.app} has no MPI version (only nn does)", file=sys.stderr)
+        return 2
+    from repro.obs.oracle import AccessRecorder
+
+    oracle = AccessRecorder()
+    aborted = False
+    try:
+        result = run_app(
+            app,
+            args.protocol,
+            args.nprocs,
+            variant=args.variant,
+            verify=not args.no_verify,
+            netcfg=_netcfg_override(args),
+            oracle=oracle,
+            faults=_load_faults(args),
+            pdes_workers=args.pdes_workers,
+            pdes_mode=args.pdes_mode,
+        )
+    except _pdes_error() as exc:
+        print(f"error: --pdes-workers: {exc}", file=sys.stderr)
+        return 2
+    except RunAborted as exc:
+        # check the partial history anyway: injected faults may abort a run
+        # but must never corrupt the consistency of what did execute
+        aborted = True
+        print(format_failure(exc.failure), file=sys.stderr)
+    else:
+        status = (
+            "verified against sequential reference"
+            if result.verified
+            else "NOT verified"
+        )
+        workers = f", {args.pdes_workers} PDES partitions" if args.pdes_workers else ""
+        print(f"{args.app} on {args.protocol}, {args.nprocs} processors{workers} ({status})")
+    code = _check_consistency(oracle, args.protocol, args.nprocs, args, aborted=aborted)
+    if code:
+        return code
+    return EXIT_RUN_FAILURE if aborted else 0
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
@@ -214,6 +307,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
     tracer = EventTracer()
     metrics = Metrics() if (args.metrics or args.metrics_out) else None
+    oracle = _make_oracle(args)
     try:
         result = run_app(
             app,
@@ -224,6 +318,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             netcfg=_netcfg_override(args),
             tracer=tracer,
             metrics=metrics,
+            oracle=oracle,
             faults=_load_faults(args),
             pdes_workers=args.pdes_workers,
             pdes_mode=args.pdes_mode,
@@ -231,6 +326,14 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     except _pdes_error() as exc:
         print(f"error: --pdes-workers: {exc}", file=sys.stderr)
         return 2
+    except RunAborted as exc:
+        if oracle is None:
+            raise
+        print(format_failure(exc.failure), file=sys.stderr)
+        code = _check_consistency(
+            oracle, args.protocol, args.nprocs, args, aborted=True
+        )
+        return code or EXIT_RUN_FAILURE
     print(
         f"{args.app} on {args.protocol}, {args.nprocs} processors "
         f"— {result.time:.6f} simulated seconds, {len(tracer.events)} trace events"
@@ -252,6 +355,8 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             metrics.write_json(args.metrics_out)
             print(f"wrote metrics snapshot to {args.metrics_out}")
     _write_trace_outputs(tracer, args)
+    if oracle is not None:
+        return _check_consistency(oracle, args.protocol, args.nprocs, args)
     return 0
 
 
@@ -354,11 +459,27 @@ def _cmd_sweep_faults(args: argparse.Namespace) -> int:
         loss_rates=tuple(args.loss_rates),
         seed=args.faults_seed,
         base_plan=base_plan,
+        check=args.check_consistency,
     )
     print(format_degradation_grid(report))
     out = args.faults_out or DEFAULT_FAULTS_OUTPUT
     write_degradation_report(report, out)
     print(f"wrote {out}")
+    if args.check_consistency:
+        from repro.obs.oracle import EXIT_CONSISTENCY
+
+        bad = [
+            c for c in report["grid"]
+            if c.get("consistency", {}).get("verdict") == "violations"
+        ]
+        if bad:
+            print(
+                f"error: consistency oracle found violations in {len(bad)} "
+                "grid cell(s)",
+                file=sys.stderr,
+            )
+            return EXIT_CONSISTENCY
+        print(f"consistency oracle: all {len(report['grid'])} grid cells clean")
     return 0
 
 
@@ -378,6 +499,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             report = sweep_mod.run_sweep(
                 sweep_mod.default_cells(), jobs=jobs, cache_dir=cache_dir,
                 trace=args.trace, pdes_workers=args.pdes_workers,
+                check=args.check_consistency,
             )
         except _pdes_error() as exc:
             print(f"error: --pdes-workers: {exc}", file=sys.stderr)
@@ -387,9 +509,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         for cell in report.cells:
             tag = "cached" if cell.cache_hit else f"{cell.wall_seconds:6.2f}s"
             c = cell.cell
+            consistency = getattr(cell.result, "consistency", None)
+            oracle_tag = f"  oracle={consistency['verdict']}" if consistency else ""
             print(
                 f"  {c.app:<6} {c.protocol:<6} {c.variant:<8} {c.nprocs:>2}p"
                 f"  [{tag}]  {cell.events_per_sec:>7} ev/s  fp={cell.fingerprint()}"
+                f"{oracle_tag}"
             )
         if args.trace:
             from repro.obs import format_breakdown
@@ -409,6 +534,22 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             f"{len(report.cells)} cells in {report.wall_seconds:.2f}s "
             f"({report.hits} cached, jobs={report.jobs}); wrote {report_path}"
         )
+        if args.check_consistency:
+            from repro.obs.oracle import EXIT_CONSISTENCY
+
+            bad = [
+                cell for cell in report.cells
+                if (getattr(cell.result, "consistency", None) or {}).get("verdict")
+                == "violations"
+            ]
+            if bad:
+                print(
+                    f"error: consistency oracle found violations in {len(bad)} "
+                    "cell(s)",
+                    file=sys.stderr,
+                )
+                return EXIT_CONSISTENCY
+            print(f"consistency oracle: all {len(report.cells)} cells clean")
         return 0
     from repro.bench.runner import Entry, speedup_experiment
     from repro.bench.tables import format_speedup_table
@@ -460,6 +601,13 @@ def build_parser() -> argparse.ArgumentParser:
                        help="record contention metrics; print per-view/per-page tables")
     p_run.add_argument("--metrics-out", default=None, metavar="PATH",
                        help="write the metrics snapshot as JSON (implies --metrics)")
+    p_run.add_argument("--check-consistency", action="store_true",
+                       help="record the access history and machine-check it "
+                       "against the protocol's memory model "
+                       "(exit 4 on violations; docs/observability.md)")
+    p_run.add_argument("--findings-out", default=None, metavar="PATH",
+                       help="write the oracle report as JSON "
+                       "(implies --check-consistency)")
     p_run.add_argument("--faults", default=None, metavar="PLAN.json",
                        help="install a scripted fault plan (docs/robustness.md)")
     p_run.add_argument("--drop-prob", type=float, default=None, metavar="P",
@@ -474,6 +622,37 @@ def build_parser() -> argparse.ArgumentParser:
                        help="PDES partition execution: OS processes (fork, "
                        "default) or single-process round-robin (inline)")
     p_run.set_defaults(fn=_cmd_run)
+
+    p_check = sub.add_parser(
+        "check",
+        help="run one application with access-history recording and "
+        "machine-check the recorded read/write history against the "
+        "protocol's memory model (exit 4 on violations)",
+    )
+    p_check.add_argument("app", choices=sorted(APPS))
+    p_check.add_argument("--protocol", default="vc_sd",
+                         choices=[*sorted(PROTOCOLS), "mpi"])
+    p_check.add_argument("--nprocs", type=int, default=8)
+    p_check.add_argument("--variant", default="default")
+    p_check.add_argument("--no-verify", action="store_true")
+    p_check.add_argument("--findings-out", default=None, metavar="PATH",
+                         help="write the oracle report (verdict, counts and "
+                         "structured findings) as JSON")
+    p_check.add_argument("--faults", default=None, metavar="PLAN.json",
+                         help="install a scripted fault plan; an aborted run's "
+                         "partial history is still checked")
+    p_check.add_argument("--drop-prob", type=float, default=None, metavar="P",
+                         help="seeded uniform random loss probability at the switch")
+    p_check.add_argument("--drop-seed", type=int, default=None, metavar="SEED",
+                         help="seed for the random-loss / RED drop streams")
+    p_check.add_argument("--pdes-workers", type=int, default=None, metavar="K",
+                         help="partition the simulated cluster across K workers "
+                         "under the conservative PDES engine (per-partition "
+                         "histories are merged before checking)")
+    p_check.add_argument("--pdes-mode", default="fork", choices=("fork", "inline"),
+                         help="PDES partition execution: OS processes (fork, "
+                         "default) or single-process round-robin (inline)")
+    p_check.set_defaults(fn=_cmd_check)
 
     p_trace = sub.add_parser(
         "trace",
@@ -497,6 +676,13 @@ def build_parser() -> argparse.ArgumentParser:
                          help="record contention metrics; print per-view/per-page tables")
     p_trace.add_argument("--metrics-out", default=None, metavar="PATH",
                          help="write the metrics snapshot as JSON (implies --metrics)")
+    p_trace.add_argument("--check-consistency", action="store_true",
+                         help="record the access history and machine-check it "
+                         "against the protocol's memory model "
+                         "(exit 4 on violations)")
+    p_trace.add_argument("--findings-out", default=None, metavar="PATH",
+                         help="write the oracle report as JSON "
+                         "(implies --check-consistency)")
     p_trace.add_argument("--faults", default=None, metavar="PLAN.json",
                          help="install a scripted fault plan (docs/robustness.md)")
     p_trace.add_argument("--drop-prob", type=float, default=None, metavar="P",
@@ -596,6 +782,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="run full-matrix cells under the conservative "
                          "PDES engine with K partitions each (separate cache "
                          "entries; bit-identical simulated results)")
+    p_sweep.add_argument("--check-consistency", action="store_true",
+                         help="run every full-matrix (or degradation-grid) cell "
+                         "under the consistency oracle; exit 4 if any cell "
+                         "has violations")
     p_sweep.set_defaults(fn=_cmd_sweep)
 
     p_list = sub.add_parser("list", help="show apps, protocols and tables")

@@ -97,6 +97,13 @@ class MemoryManager:
             if self.fault_handler is None:
                 raise RuntimeError("no protocol attached to memory manager")
             yield from self.fault_handler.read_fault(faulting)
+        oracle = self.node.sim.oracle
+        if oracle is not None:
+            now = self.node.sim.now
+            nid = self.node.id
+            pages = self.pages
+            for pid in dict.fromkeys(s[0] for s in segs):
+                oracle.read(now, nid, pid, pages[pid].data)
         return self._gather(segs, nbytes)
 
     def write_bytes(self, addr: int, data: np.ndarray) -> Generator:
@@ -113,6 +120,13 @@ class MemoryManager:
                 raise RuntimeError("no protocol attached to memory manager")
             yield from self.fault_handler.write_fault(faulting)
         self._scatter(segs, data)
+        oracle = self.node.sim.oracle
+        if oracle is not None:
+            now = self.node.sim.now
+            nid = self.node.id
+            pages = self.pages
+            for pid in dict.fromkeys(s[0] for s in segs):
+                oracle.write(now, nid, pid, pages[pid].data)
         return None
 
     def _gather(self, segs: tuple[tuple[int, int, int, int], ...], nbytes: int) -> np.ndarray:

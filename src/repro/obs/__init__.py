@@ -21,6 +21,10 @@ protocol implementations and the runtimes:
 * :mod:`repro.obs.metrics` is the contention-metrics registry (counters,
   gauges, histograms keyed by view/page/lock labels) the protocol layers
   feed, rendered as per-view contention tables;
+* :mod:`repro.obs.oracle` is the trace-based consistency oracle: an opt-in
+  access-history recorder (:class:`AccessRecorder`) plus a checker
+  (:func:`check_history`) that machine-verifies recorded read/write
+  histories against the protocol family's memory model;
 * :mod:`repro.obs.report` compares two bench baselines (files or git
   revisions) and gates CI on regressions.
 
@@ -58,11 +62,21 @@ from repro.obs.critical_path import (
 from repro.obs.export import (
     chrome_trace,
     flame_summary,
+    iter_jsonl_lines,
     validate_chrome_trace,
     write_chrome_trace,
     write_jsonl,
 )
 from repro.obs.metrics import Histogram, Metrics, format_contention
+from repro.obs.oracle import (
+    EXIT_CONSISTENCY,
+    AccessRecorder,
+    Finding,
+    OracleReport,
+    check_history,
+    format_oracle_report,
+    page_digest,
+)
 from repro.obs.report import (
     DEFAULT_THROUGHPUT_TOLERANCE,
     Comparison,
@@ -91,9 +105,17 @@ __all__ = [
     "format_breakdown",
     "chrome_trace",
     "write_chrome_trace",
+    "iter_jsonl_lines",
     "write_jsonl",
     "flame_summary",
     "validate_chrome_trace",
+    "AccessRecorder",
+    "OracleReport",
+    "Finding",
+    "check_history",
+    "format_oracle_report",
+    "page_digest",
+    "EXIT_CONSISTENCY",
     "CriticalPath",
     "Segment",
     "WaitSlack",

@@ -22,6 +22,7 @@ from repro.obs.tracer import EventTracer
 __all__ = [
     "chrome_trace",
     "write_chrome_trace",
+    "iter_jsonl_lines",
     "write_jsonl",
     "flame_summary",
     "validate_chrome_trace",
@@ -118,33 +119,41 @@ def write_chrome_trace(trace: "EventTracer | list", path: str) -> None:
         fh.write("\n")
 
 
+def iter_jsonl_lines(trace: "EventTracer | list"):
+    """Yield the JSONL export one line at a time (newline included).
+
+    A generator so exporting never materialises a second copy of the event
+    list: large partitioned traces stream straight from the tracer's storage
+    to the file.
+    """
+    dumps = json.dumps
+    events = trace.events if isinstance(trace, EventTracer) else trace
+    for ph, t, pid, lane, cat, name, args in events:
+        yield dumps(
+            {
+                "ph": ph,
+                "t": t,
+                "pid": pid,
+                "lane": lane,
+                "cat": cat,
+                "name": name,
+                "args": args,
+            },
+            sort_keys=False,
+        ) + "\n"
+
+
 def write_jsonl(trace: "EventTracer | list", fh_or_path: "IO[str] | str") -> None:
-    """Flat one-object-per-line event log (easy to grep/pandas)."""
-    events = _events_of(trace)
+    """Flat one-object-per-line event log (easy to grep/pandas).
 
-    def _dump(fh: "IO[str]") -> None:
-        for ph, t, pid, lane, cat, name, args in events:
-            fh.write(
-                json.dumps(
-                    {
-                        "ph": ph,
-                        "t": t,
-                        "pid": pid,
-                        "lane": lane,
-                        "cat": cat,
-                        "name": name,
-                        "args": args,
-                    },
-                    sort_keys=False,
-                )
-            )
-            fh.write("\n")
-
+    Streams incrementally via :func:`iter_jsonl_lines` — memory stays
+    bounded by one line regardless of trace size.
+    """
     if isinstance(fh_or_path, str):
         with open(fh_or_path, "w") as fh:
-            _dump(fh)
+            fh.writelines(iter_jsonl_lines(trace))
     else:
-        _dump(fh_or_path)
+        fh_or_path.writelines(iter_jsonl_lines(trace))
 
 
 def flame_summary(trace: "EventTracer | list", width: int = 40) -> str:

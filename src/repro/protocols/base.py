@@ -125,6 +125,9 @@ class BaseDsmProtocol:
             lamport=self.lamport,
             pages=tuple(sorted(pages)),
         )
+        oracle = self.node.sim.oracle
+        if oracle is not None:
+            oracle.interval(now, self.node.id, idx, notice.pages)
         return notice
 
     # -- notice handling -----------------------------------------------------------
@@ -239,12 +242,18 @@ class BaseDsmProtocol:
         if src is None:
             self.mm.zero_fill(pid)
             self.directory.claim_origin(pid, self.node.id, now)
+            oracle = self.node.sim.oracle
+            if oracle is not None:
+                oracle.zero_fill(now, self.node.id, pid, self.mm.pages[pid].data)
             return
         reply = yield from self.node.request(
             src, MessageKind.PAGE_REQUEST, pid, size=CTRL_MSG_BYTES
         )
         yield from self.node.copy_cost(self.system.space.page_size)
         self.mm.install_full_page(pid, reply.payload)
+        oracle = self.node.sim.oracle
+        if oracle is not None:
+            oracle.install(self.node.sim.now, self.node.id, pid, src, self.mm.pages[pid].data)
 
     # when a page's pending diff chain from a single writer exceeds this many
     # intervals, fetch the full page instead (TreadMarks' diff-accumulation
@@ -285,6 +294,12 @@ class BaseDsmProtocol:
                 )
                 yield from self.node.copy_cost(self.system.space.page_size)
                 self.mm.install_full_page(pid, reply.payload)
+                oracle = self.node.sim.oracle
+                if oracle is not None:
+                    oracle.install(
+                        self.node.sim.now, self.node.id, pid, writer,
+                        self.mm.pages[pid].data,
+                    )
                 return
         # fetch from all writers concurrently (TreadMarks issues parallel
         # diff requests), then apply in Lamport order.  The overwhelmingly
@@ -328,6 +343,13 @@ class BaseDsmProtocol:
         if nbytes:
             yield from self.node.copy_cost(nbytes)
         self.mm.apply_diffs(pid, ordered)
+        oracle = self.node.sim.oracle
+        if oracle is not None:
+            oracle.apply(
+                self.node.sim.now, self.node.id, pid,
+                tuple(sorted(n.key() for n in notices)),
+                self.mm.pages[pid].data,
+            )
 
     def _request_diffs(self, writer: int, pid: int, idxs: list[int]) -> Generator:
         """RPC one writer for its diffs of ``pid`` at intervals ``idxs``."""

@@ -107,6 +107,7 @@ class HlrcProtocol(LrcProtocol):
         yield from self.node.compute(HANDLER_BASE_COST)
         writer = msg.payload["node"]
         idx = msg.payload["idx"]
+        oracle = self.node.sim.oracle
         nbytes = 0
         for pid, diffs in msg.payload["pages"].items():
             copy = self.mm.page(pid)
@@ -117,6 +118,10 @@ class HlrcProtocol(LrcProtocol):
                 apply_diff(copy.data, diff)
                 nbytes += diff.changed_bytes
             self._applied.setdefault(pid, set()).add((writer, idx))
+            if oracle is not None:
+                oracle.apply(
+                    self.node.sim.now, self.node.id, pid, ((writer, idx),), copy.data
+                )
             self._retry_waiting(pid)
         if nbytes:
             yield from self.node.copy_cost(nbytes)
@@ -134,6 +139,11 @@ class HlrcProtocol(LrcProtocol):
             self.mm.zero_fill(pid)
             self.directory.claim_origin(pid, self.node.id, self.node.sim.now)
             self._applied.setdefault(pid, set())
+            oracle = self.node.sim.oracle
+            if oracle is not None:
+                oracle.zero_fill(
+                    self.node.sim.now, self.node.id, pid, self.mm.pages[pid].data
+                )
             return
         if home == self.node.id:
             # we are the home: pushes keep our data current, but a push can
@@ -162,6 +172,11 @@ class HlrcProtocol(LrcProtocol):
         )
         yield from self.node.copy_cost(self.system.space.page_size)
         self.mm.install_full_page(pid, reply.payload["content"])
+        oracle = self.node.sim.oracle
+        if oracle is not None:
+            oracle.install(
+                self.node.sim.now, self.node.id, pid, home, self.mm.pages[pid].data
+            )
 
     def _handle_page_request(self, msg: Message) -> Generator:
         yield from self.node.compute(HANDLER_BASE_COST)

@@ -166,6 +166,9 @@ class LrcProtocol(BaseDsmProtocol):
             payload = yield evt.wait()
             yield from self.node.compute(NOTICE_PROC_COST * len(payload["notices"]))
             self._absorb(payload["notices"], payload["vc"])
+        oracle = self.node.sim.oracle
+        if oracle is not None:
+            oracle.acquire(self.node.sim.now, self.node.id, "lock", lock_id, "w")
         if tracer is not None:
             tracer.end(self.node.id, "app", "acquire-wait", self.node.sim.now)
         self.stats.add_acquire_time(self.node.sim.now - t0)
@@ -178,6 +181,9 @@ class LrcProtocol(BaseDsmProtocol):
     def release_lock(self, lock_id: int) -> Generator:
         """Release a global lock (``yield from``)."""
         yield from self._publish_own_interval()
+        oracle = self.node.sim.oracle
+        if oracle is not None:
+            oracle.release(self.node.sim.now, self.node.id, "lock", lock_id, "w")
         manager = self.lock_manager(lock_id)
         if manager == self.node.id:
             self._manager_release(lock_id)
@@ -274,6 +280,9 @@ class LrcProtocol(BaseDsmProtocol):
         yield from self._publish_own_interval()
         gen = self._barrier_gen
         self._barrier_gen += 1
+        oracle = self.node.sim.oracle
+        if oracle is not None:
+            oracle.barrier_arrive(self.node.sim.now, self.node.id, gen)
         evt = Event(self.node.sim)
         self._barrier_events[gen] = evt
         if self.node.id == self.BARRIER_MANAGER:
@@ -291,6 +300,8 @@ class LrcProtocol(BaseDsmProtocol):
         payload = yield evt.wait()
         yield from self.node.compute(NOTICE_PROC_COST * len(payload["notices"]))
         self._absorb(payload["notices"], payload["vc"])
+        if oracle is not None:
+            oracle.barrier_exit(self.node.sim.now, self.node.id, gen)
         if tracer is not None:
             tracer.end(self.node.id, "app", "barrier-wait", self.node.sim.now)
         self.stats.add_barrier_time(self.node.sim.now - t0)

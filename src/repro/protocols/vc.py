@@ -164,6 +164,9 @@ class VcProtocol(BaseDsmProtocol):
             )
         payload = yield evt.wait()
         yield from self._apply_grant(view_id, payload)
+        oracle = self.node.sim.oracle
+        if oracle is not None:
+            oracle.acquire(self.node.sim.now, self.node.id, "view", view_id, mode)
         if tracer is not None:
             tracer.end(self.node.id, "app", "acquire-wait", self.node.sim.now)
         self.stats.add_acquire_time(self.node.sim.now - t0)
@@ -200,6 +203,9 @@ class VcProtocol(BaseDsmProtocol):
         notice = yield from self.end_interval()
         if notice is not None:
             self._bind_pages(view_id, notice.pages)
+        oracle = self.node.sim.oracle
+        if oracle is not None:
+            oracle.release(self.node.sim.now, self.node.id, "view", view_id, "w")
         self.held_excl = None
         yield from self._send_release(view_id, "w", notice)
 
@@ -215,6 +221,9 @@ class VcProtocol(BaseDsmProtocol):
                 f"read views ({sorted(self.mm.write_set)})"
             )
         self.held_r.remove(view_id)
+        oracle = self.node.sim.oracle
+        if oracle is not None:
+            oracle.release(self.node.sim.now, self.node.id, "view", view_id, "r")
         yield from self._send_release(view_id, "r", None)
 
     def _send_release(self, view_id: int, mode: str, notice: Optional[IntervalNotice]) -> Generator:
@@ -383,6 +392,9 @@ class VcProtocol(BaseDsmProtocol):
             )
         gen = self._barrier_gen
         self._barrier_gen += 1
+        oracle = self.node.sim.oracle
+        if oracle is not None:
+            oracle.barrier_arrive(self.node.sim.now, self.node.id, gen)
         evt = Event(self.node.sim)
         self._barrier_events[gen] = evt
         if self.node.id == self.BARRIER_MANAGER:
@@ -395,6 +407,8 @@ class VcProtocol(BaseDsmProtocol):
                 size=CTRL_MSG_BYTES,
             )
         yield evt.wait()
+        if oracle is not None:
+            oracle.barrier_exit(self.node.sim.now, self.node.id, gen)
         if tracer is not None:
             tracer.end(self.node.id, "app", "barrier-wait", self.node.sim.now)
         self.stats.add_barrier_time(self.node.sim.now - t0)

@@ -189,6 +189,16 @@ class VcSdProtocol(VcProtocol):
                 apply_diff(copy.data, diff)
                 nbytes += diff.changed_bytes
             copy.state = PageState.RO
+        oracle = self.node.sim.oracle
+        if oracle is not None:
+            # recorded even when both maps are empty: the checker tracks the
+            # acquirer's piggyback delivery horizon from these events
+            pages = self.mm.pages
+            oracle.update(
+                self.node.sim.now, self.node.id, view_id,
+                ((pid, pages[pid].data) for pid in sorted(full_pages)),
+                ((pid, pages[pid].data) for pid in sorted(grant_diffs)),
+            )
         metrics = self.node.sim.metrics
         if metrics is not None and nbytes:
             metrics.inc("piggyback_bytes", nbytes, view=view_id)

@@ -316,6 +316,10 @@ class Simulator:
         # every hook site (switch, NIC, Node.compute) guards on this before
         # doing any work, so no plan installed means no behaviour change
         self.faults = None
+        # optional repro.obs.oracle.AccessRecorder, same None-default
+        # contract: memory/protocol sites record read/write digests and
+        # sync edges for the consistency oracle only when installed
+        self.oracle = None
         # main event queue: entries are (t, tsched, cls, seq, fn, args)
         if queue == "heap" or queue == "auto":
             self._heap: Any = []

@@ -98,10 +98,14 @@ Why this is exact (not just approximately synchronised):
   owned shards in node order reproduces the serial float-summation order.
 
 What the driver refuses (``PdesError``): fault plans and ``random_drop_prob``
-(perturbed arrivals bypass the pump by design), contention metrics and view
-tracers (instantaneous global observers), and ``hlrc_d`` (its home assignment
-needs an instantaneous directory read — see
-:meth:`repro.protocols.directory.PageDirectory.origin_any`).
+(perturbed arrivals bypass the pump by design), view tracers (instantaneous
+global observers), and ``hlrc_d`` (its home assignment needs an
+instantaneous directory read — see
+:meth:`repro.protocols.directory.PageDirectory.origin_any`).  Contention
+metrics and the consistency-oracle recorder *are* supported: each partition
+records its own shard (metrics in log mode journal every operation with its
+sim-time) and the driver k-way merges the shards in serial event order, the
+same way stats and tracers merge.
 
 ``mode="fork"`` runs each partition in a forked OS process (pipes carry the
 barrier traffic); ``mode="inline"`` runs all partitions in-process — same
@@ -279,6 +283,8 @@ class PartitionResult:
     timer_spills: int
     output: Any  # extract() read-out (only from the partition owning rank 0)
     tracer: Any  # per-partition EventTracer, or None
+    oracle: Any = None  # per-partition AccessRecorder, or None
+    metrics: Any = None  # per-partition logged Metrics shard, or None
 
 
 class PartitionWorld:
@@ -430,6 +436,9 @@ class PartitionWorld:
         rank_stats = None
         if self._rank_stats is not None:
             rank_stats = {r: self._rank_stats(r) for r in self.owned}
+        metrics = self.sim.metrics
+        if metrics is not None:
+            metrics.detach_clock()  # the shard crosses the pipe; sims don't pickle
         return PartitionResult(
             index=self.index,
             owned=self.owned,
@@ -441,22 +450,38 @@ class PartitionWorld:
             timer_spills=self.sim.timer_spills,
             output=self._extract() if want_output else None,
             tracer=self.sim.tracer,
+            oracle=self.sim.oracle,
+            metrics=metrics,
         )
 
 
 def _build_world(index, owned, app_module, protocol, nprocs, config, variant,
-                 netcfg, nodecfg, trace) -> PartitionWorld:
+                 netcfg, nodecfg, trace, oracle=False, metrics=False) -> PartitionWorld:
     """Construct one partition's replica (identical code path to serial)."""
     sim = Simulator(queue="auto")
+
+    def _observers() -> None:
+        # same None-default contract as serial: installed before the program
+        # starts, each partition records only its own nodes' activity
+        if trace:
+            from repro.obs.tracer import EventTracer
+
+            sim.tracer = EventTracer()
+        if oracle:
+            from repro.obs.oracle import AccessRecorder
+
+            sim.oracle = AccessRecorder()
+        if metrics:
+            from repro.obs.metrics import Metrics
+
+            sim.metrics = Metrics(sim=sim)
+
     if protocol == "mpi":
         from repro.mpi.comm import MpiSystem
 
         system = MpiSystem(nprocs, netcfg=netcfg, nodecfg=nodecfg, sim=sim)
         cluster = system.cluster
-        if trace:
-            from repro.obs.tracer import EventTracer
-
-            sim.tracer = EventTracer()
+        _observers()
         switch = _make_partition_switch(cluster, owned)
         body = app_module.build_mpi(system, config)
         oracles = ()
@@ -467,10 +492,7 @@ def _build_world(index, owned, app_module, protocol, nprocs, config, variant,
 
         system = make_system(nprocs, protocol, netcfg=netcfg, nodecfg=nodecfg, sim=sim)
         cluster = system.dsm.cluster
-        if trace:
-            from repro.obs.tracer import EventTracer
-
-            sim.tracer = EventTracer()
+        _observers()
         switch = _make_partition_switch(cluster, owned)
         body = app_module.build(system, config, variant)
         oracles = (system.dsm.directory, system.dsm.views)
@@ -731,6 +753,8 @@ class PdesOutcome:
     workers: int
     tracer: Any  # merged EventTracer, or None
     timer_spills: int
+    oracle: Any = None  # merged AccessRecorder, or None
+    metrics: Any = None  # merged Metrics registry, or None
     elided_windows: int = 0  # rounds that skipped the frame/delta exchange
     leased_windows: int = 0  # extra λ-windows granted by multi-window leases
     frame_bytes: int = 0  # encoded cross-partition frame bytes routed
@@ -747,8 +771,9 @@ def run_partitioned(
     netcfg=None,
     nodecfg=None,
     trace: bool = False,
+    oracle: bool = False,
     view_tracer=None,
-    metrics=None,
+    metrics: bool = False,
     faults=None,
     batching: bool = True,
     observer=None,
@@ -768,8 +793,6 @@ def run_partitioned(
 
     if faults is not None:
         raise PdesError("fault injection perturbs arrivals; PDES runs are serial-only")
-    if metrics is not None:
-        raise PdesError("contention metrics are not supported under PDES")
     if view_tracer is not None:
         raise PdesError("view tracing is not supported under PDES")
     if protocol == "hlrc_d":
@@ -794,10 +817,14 @@ def run_partitioned(
         for r in ranks:
             owner_of[r] = p
 
+    want_oracle = bool(oracle)
+    want_metrics = bool(metrics)
+
     def make_builder(index: int):
         owned = parts[index]
         return lambda: _build_world(index, owned, app_module, protocol, nprocs,
-                                    config, variant, netcfg, nodecfg, trace)
+                                    config, variant, netcfg, nodecfg, trace,
+                                    oracle=want_oracle, metrics=want_metrics)
 
     ports: list = []
     try:
@@ -858,6 +885,16 @@ def _merge(finals, wstats, protocol, nprocs, nparts, trace) -> PdesOutcome:
         from repro.obs.tracer import EventTracer
 
         tracer = EventTracer.merged([f.tracer for f in finals])
+    oracle = None
+    if finals and finals[0].oracle is not None:
+        from repro.obs.oracle import AccessRecorder
+
+        oracle = AccessRecorder.merged([f.oracle for f in finals])
+    metrics = None
+    if finals and finals[0].metrics is not None:
+        from repro.obs.metrics import Metrics
+
+        metrics = Metrics.merged([f.metrics for f in finals])
     return PdesOutcome(
         output=finals[0].output,
         stats=stats,
@@ -867,6 +904,8 @@ def _merge(finals, wstats, protocol, nprocs, nparts, trace) -> PdesOutcome:
         windows=wstats["windows"],
         workers=nparts,
         tracer=tracer,
+        oracle=oracle,
+        metrics=metrics,
         timer_spills=sum(f.timer_spills for f in finals),
         elided_windows=wstats["elided_windows"],
         leased_windows=wstats["leased_windows"],

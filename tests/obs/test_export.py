@@ -66,6 +66,39 @@ def test_jsonl_roundtrip():
     assert set(first) == {"ph", "t", "pid", "lane", "cat", "name", "args"}
 
 
+def test_jsonl_streaming_matches_batch(tmp_path):
+    """File, handle and generator forms all produce identical bytes."""
+    from repro.obs import iter_jsonl_lines
+
+    tracer = small_trace()
+    streamed = "".join(iter_jsonl_lines(tracer))
+    buf = io.StringIO()
+    write_jsonl(tracer, buf)
+    assert buf.getvalue() == streamed
+    path = tmp_path / "events.jsonl"
+    write_jsonl(tracer, str(path))
+    assert path.read_text() == streamed
+
+
+def test_iter_jsonl_lines_is_lazy():
+    """The export pulls events one at a time — no second copy of the list."""
+    from repro.obs import iter_jsonl_lines
+
+    pulled = []
+
+    def events():
+        for i in range(3):
+            pulled.append(i)
+            yield ("i", float(i), 0, "app", "compute", f"e{i}", None)
+
+    lines = iter_jsonl_lines(events())
+    assert pulled == []  # nothing consumed before iteration starts
+    first = json.loads(next(lines))
+    assert first["name"] == "e0"
+    assert pulled == [0]  # exactly one event materialised per line
+    assert [json.loads(line)["name"] for line in lines] == ["e1", "e2"]
+
+
 def test_flame_summary_text():
     text = flame_summary(small_trace())
     assert "Where the time went" in text

@@ -1,0 +1,97 @@
+"""Oracle clean-pass across the protocol/app matrix, and non-perturbation.
+
+Two guarantees:
+
+* every app x protocol combination checks CLEAN at a cheap size (the full
+  committed 18-cell matrix at full size is re-verified by
+  ``python -m repro sweep --check-consistency`` in the CI oracle-smoke job);
+* recording the history perturbs **nothing**: a recorded run's statistics
+  row and event count are bit-identical to the committed ``BENCH_sweep.json``
+  fingerprints (mirroring ``tests/faults/test_nonperturbation.py``).
+"""
+
+import hashlib
+import json
+import pathlib
+
+import pytest
+
+from repro.apps import APPS
+from repro.apps.common import run_app
+from repro.obs.oracle import AccessRecorder, check_history, format_oracle_report
+
+REPO = pathlib.Path(__file__).resolve().parents[2]
+
+MATRIX = [
+    (app, protocol)
+    for app in ("is", "gauss", "sor", "nn")
+    for protocol in ("lrc_d", "vc_d", "vc_sd")
+]
+
+# cheap-to-run subset of the committed 18-cell matrix (one per app, mixed
+# protocols), same discipline as the fault non-perturbation tests
+CHECKED_CELLS = [
+    ("is", "lrc_d", 8),
+    ("gauss", "vc_sd", 8),
+    ("sor", "vc_d", 8),
+    ("nn", "lrc_d", 8),
+]
+
+
+def _fingerprint(result) -> str:
+    return hashlib.sha256(
+        json.dumps(result.table_row(), sort_keys=True).encode()
+    ).hexdigest()[:16]
+
+
+def _committed():
+    path = REPO / "BENCH_sweep.json"
+    if not path.exists():
+        pytest.skip("no committed BENCH_sweep.json in this checkout")
+    cells = {}
+    for cell in json.loads(path.read_text())["cells"]:
+        cells[(cell["app"], cell["protocol"], cell["nprocs"], cell["variant"])] = cell
+    return cells
+
+
+@pytest.mark.parametrize("app,protocol", MATRIX)
+def test_matrix_cell_checks_clean(app, protocol):
+    oracle = AccessRecorder()
+    result = run_app(APPS[app], protocol, 4, oracle=oracle)
+    assert result.verified
+    report = check_history(oracle, nprocs=4, protocol=protocol)
+    assert report.verdict == "clean", format_oracle_report(report)
+    assert report.counts["reads"] > 0
+
+
+@pytest.mark.parametrize("app,protocol", [("is", "lrc_d"), ("is", "vc_sd")])
+def test_lb_and_headline_variants_check_clean(app, protocol):
+    oracle = AccessRecorder()
+    variant = "lb" if protocol == "vc_sd" else "default"
+    run_app(APPS[app], protocol, 8, variant=variant, oracle=oracle)
+    report = check_history(oracle, nprocs=8, protocol=protocol)
+    assert report.verdict == "clean", format_oracle_report(report)
+
+
+@pytest.mark.parametrize("app,protocol,nprocs", CHECKED_CELLS)
+def test_recording_does_not_perturb_the_simulation(app, protocol, nprocs):
+    committed = _committed()
+    reference = committed[(app, protocol, nprocs, "default")]
+    oracle = AccessRecorder()
+    result = run_app(APPS[app], protocol, nprocs, oracle=oracle)
+    assert len(oracle.events) > 0
+    assert _fingerprint(result) == reference["fingerprint"]
+    assert result.events == reference["events"]
+    assert result.table_row() == reference["table_row"]
+
+
+def test_unrecorded_run_allocates_no_history():
+    sentinel = AccessRecorder()
+    run_app(APPS["sor"], "vc_sd", 2)  # no oracle passed anywhere
+    assert sentinel.events == []
+
+
+def test_simulator_has_no_oracle_by_default():
+    from repro.sim import Simulator
+
+    assert Simulator().oracle is None

@@ -118,11 +118,12 @@ def test_refuses_hlrc_d():
         run_partitioned(APPS["is"], protocol="hlrc_d", nprocs=8)
 
 
-def test_refuses_faults_metrics_and_view_tracer():
+def test_refuses_faults_and_view_tracer():
+    # note: contention metrics and the consistency oracle are *supported*
+    # under PDES (per-partition shards merged in serial order); see
+    # tests/sim/test_pdes_observers.py
     with pytest.raises(PdesError, match="fault"):
         run_partitioned(APPS["is"], protocol="lrc_d", nprocs=8, faults=object())
-    with pytest.raises(PdesError, match="metrics"):
-        run_partitioned(APPS["is"], protocol="lrc_d", nprocs=8, metrics=object())
     with pytest.raises(PdesError, match="[Vv]iew"):
         run_partitioned(
             APPS["is"], protocol="vc_sd", nprocs=8, view_tracer=object()

@@ -153,6 +153,67 @@ def test_sweep_faults_with_plan_file(capsys, tmp_path):
     assert report["base_plan"]["episodes"][0]["kind"] == "duplicate"
 
 
+def test_check_command_reports_clean(capsys, tmp_path):
+    import json
+
+    findings = tmp_path / "findings.json"
+    assert main([
+        "check", "sor", "--protocol", "vc_sd", "--nprocs", "2",
+        "--findings-out", str(findings),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "Consistency oracle" in out and "CLEAN" in out
+    doc = json.loads(findings.read_text())
+    assert doc["verdict"] == "clean"
+    assert doc["findings"] == []
+    assert doc["counts"]["reads"] > 0
+
+
+def test_check_command_mpi_not_applicable(capsys):
+    assert main(["check", "nn", "--protocol", "mpi", "--nprocs", "2"]) == 0
+    assert "NOT-APPLICABLE" in capsys.readouterr().out
+
+
+def test_check_mpi_on_non_nn_rejected(capsys):
+    assert main(["check", "is", "--protocol", "mpi", "--nprocs", "2"]) == 2
+    assert "no MPI version" in capsys.readouterr().err
+
+
+def test_run_with_check_consistency_flag(capsys):
+    assert main([
+        "run", "is", "--protocol", "vc_d", "--nprocs", "2",
+        "--check-consistency",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "Time (Sec.)" in out
+    assert "Consistency oracle" in out and "CLEAN" in out
+
+
+def test_check_command_under_pdes(capsys):
+    assert main([
+        "check", "is", "--protocol", "vc_sd", "--nprocs", "4",
+        "--pdes-workers", "2", "--pdes-mode", "inline",
+    ]) == 0
+    assert "CLEAN" in capsys.readouterr().out
+
+
+def test_sweep_faults_check_consistency(capsys, tmp_path):
+    import json
+
+    out = tmp_path / "BENCH_faults.json"
+    assert main([
+        "sweep", "is", "--procs", "2", "--protocols", "vc_sd",
+        "--loss-rates", "0", "--faults-out", str(out), "--faults",
+        "--check-consistency",
+    ]) == 0
+    printed = capsys.readouterr().out
+    assert "grid cells clean" in printed
+    report = json.loads(out.read_text())
+    assert all(
+        c["consistency"]["verdict"] == "clean" for c in report["grid"]
+    )
+
+
 def test_invalid_app_rejected():
     with pytest.raises(SystemExit):
         main(["run", "nosuchapp"])
@@ -166,7 +227,7 @@ def test_invalid_table_rejected():
 def test_parser_has_all_commands():
     parser = build_parser()
     text = parser.format_help()
-    for cmd in ("run", "table", "sweep", "trace", "list"):
+    for cmd in ("run", "check", "table", "sweep", "trace", "list"):
         assert cmd in text
 
 
