@@ -111,6 +111,7 @@ def run_app(
     pdes_workers: Optional[int] = None,
     pdes_mode: str = "fork",
     pdes_batching: bool = True,
+    host: Any = None,
 ) -> AppResult:
     """Build, run and (optionally) verify one application.
 
@@ -132,11 +133,32 @@ def run_app(
     :class:`~repro.faults.FaultInjector`) injects scripted network and node
     faults.
 
+    ``host`` (a :class:`repro.obs.host.HostProfiler`) records *wall-clock*
+    spans around the real work — build/execute/extract/verify serially, the
+    coordinator/worker protocol under PDES — without ever touching the
+    simulation (simulated observables stay bit-identical).
+
     An exhausted retransmission budget or a fail-stop crash episode raises
     :class:`repro.faults.RunAborted` carrying a structured
     :class:`~repro.faults.RunFailure`; any other exception propagates
     unchanged (it is a bug, not a fault outcome).
     """
+    if host is None:
+        return _run_app(app_module, protocol, nprocs, config, variant, verify,
+                        netcfg, nodecfg, tracer, view_tracer, metrics, oracle,
+                        faults, pdes_workers, pdes_mode, pdes_batching, host)
+    host.begin("run", "total")
+    try:
+        return _run_app(app_module, protocol, nprocs, config, variant, verify,
+                        netcfg, nodecfg, tracer, view_tracer, metrics, oracle,
+                        faults, pdes_workers, pdes_mode, pdes_batching, host)
+    finally:
+        host.end()
+
+
+def _run_app(app_module, protocol, nprocs, config, variant, verify, netcfg,
+             nodecfg, tracer, view_tracer, metrics, oracle, faults,
+             pdes_workers, pdes_mode, pdes_batching, host) -> AppResult:
     config = config or app_module.default_config()
     if pdes_workers is not None and pdes_workers > 1:
         # partitioned (PDES) execution: same observables, different engine;
@@ -147,9 +169,9 @@ def run_app(
             app_module, protocol=protocol, nprocs=nprocs, config=config,
             variant=variant, workers=pdes_workers, mode=pdes_mode,
             netcfg=netcfg, nodecfg=nodecfg, trace=tracer is not None,
-            oracle=oracle is not None, view_tracer=view_tracer,
+            oracle=oracle is not None, view_trace=view_tracer is not None,
             metrics=metrics is not None, faults=faults,
-            batching=pdes_batching,
+            batching=pdes_batching, host=host,
         )
         result = AppResult(
             protocol, nprocs, outcome.output, outcome.stats, outcome.time,
@@ -174,6 +196,11 @@ def run_app(
         if oracle is not None:
             # hand the merged history back through the caller's recorder
             oracle.events[:] = outcome.oracle.events
+        if view_tracer is not None:
+            # copy the merged (serial-order) shards into the caller's tracer
+            view_tracer.events[:] = outcome.view_tracer.events
+            view_tracer.profiles.clear()
+            view_tracer.profiles.update(outcome.view_tracer.profiles)
         if metrics is not None:
             # copy the merged registry into the caller's Metrics object
             metrics.counters.update(outcome.metrics.counters)
@@ -181,14 +208,20 @@ def run_app(
             metrics.histograms.update(outcome.metrics.histograms)
             result.metrics = metrics
         if verify:
+            if host is not None:
+                host.begin("run", "verify")
             expected = app_module.sequential(config)
             result.verified = app_module.outputs_match(result.output, expected)
+            if host is not None:
+                host.end()
             if not result.verified:
                 raise AssertionError(
                     f"{app_module.__name__} on {protocol}/{nprocs}p "
                     "produced wrong output"
                 )
         return result
+    if host is not None:
+        host.begin("run", "build")
     if protocol == "mpi":
         if view_tracer is not None:
             raise ValueError("--trace-views needs a DSM protocol, not mpi")
@@ -205,7 +238,12 @@ def run_app(
             cluster.sim.oracle = oracle
         if faults is not None:
             cluster.install_faults(faults)
+        if host is not None:
+            host.end()  # build
+            host.begin("run", "execute")
         output = _run_or_abort(cluster, lambda: app_module.run_mpi(system, config))
+        if host is not None:
+            host.end()
         result = AppResult(
             protocol, nprocs, output, system.stats, system.time,
             events=cluster.sim.events_processed,
@@ -224,8 +262,16 @@ def run_app(
         if faults is not None:
             cluster.install_faults(faults)
         body = app_module.build(system, config, variant)
+        if host is not None:
+            host.end()  # build
+            host.begin("run", "execute")
         _run_or_abort(cluster, lambda: system.run_program(body))
+        if host is not None:
+            host.end()
+            host.begin("run", "extract")
         output = app_module.extract(system, config)
+        if host is not None:
+            host.end()
         result = AppResult(
             protocol, nprocs, output, system.stats, system.stats.time,
             events=system.sim.events_processed,
@@ -235,8 +281,12 @@ def run_app(
     if metrics is not None:
         result.metrics = metrics
     if verify:
+        if host is not None:
+            host.begin("run", "verify")
         expected = app_module.sequential(config)
         result.verified = app_module.outputs_match(output, expected)
+        if host is not None:
+            host.end()
         if not result.verified:
             raise AssertionError(
                 f"{app_module.__name__} on {protocol}/{nprocs}p produced wrong output"

@@ -133,6 +133,9 @@ def run_degradation_grid(
     ``check`` runs every cell — including aborted ones, on their partial
     history — under the consistency oracle and attaches the verdict.
     """
+    import time
+
+    t_start = time.perf_counter()
     loss_rates = tuple(sorted(set(float(r) for r in loss_rates)))
     if not loss_rates:
         raise ValueError("need at least one loss rate")
@@ -152,6 +155,8 @@ def run_degradation_grid(
                     else math.nan
                 )
             grid.append(cell)
+    from repro.bench.manifest import run_manifest
+
     return {
         "benchmark": "faults_degradation",
         "app": app,
@@ -161,6 +166,12 @@ def run_degradation_grid(
         "protocols": list(protocols),
         "base_plan": base_plan.to_json() if base_plan is not None else None,
         "grid": grid,
+        "manifest": run_manifest(
+            config={"app": app, "nprocs": nprocs, "seed": seed,
+                    "loss_rates": list(loss_rates),
+                    "protocols": list(protocols)},
+            wall_seconds=time.perf_counter() - t_start,
+        ),
     }
 
 

@@ -243,7 +243,9 @@ def run_benchmark(
     (one per app/protocol family, inline mode) and a 64-rank scaling point.
     """
     import platform
+    import time
 
+    t_start = time.perf_counter()
     if quick:
         cells = [
             SweepCell(app="is", protocol="lrc_d", nprocs=8),
@@ -264,6 +266,8 @@ def run_benchmark(
                                       batching=batching)
         scaling = run_scaling(scale_nprocs or 256, workers_list=workers_list,
                               mode=mode, batching=batching)
+    from repro.bench.manifest import run_manifest
+
     return {
         "benchmark": "pdes",
         "host_cpus": os.cpu_count() or 1,
@@ -272,6 +276,12 @@ def run_benchmark(
         "batching": batching,
         "conformance": conformance,
         "scaling": scaling,
+        "manifest": run_manifest(
+            config={"quick": quick, "workers": workers, "mode": mode,
+                    "scale_nprocs": scale_nprocs,
+                    "workers_list": list(workers_list), "batching": batching},
+            wall_seconds=time.perf_counter() - t_start,
+        ),
     }
 
 

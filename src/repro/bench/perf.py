@@ -28,6 +28,7 @@ from typing import Optional, Sequence
 
 from repro.apps import is_sort
 from repro.apps.common import run_app
+from repro.bench.manifest import run_manifest
 from repro.bench.runner import STATS_ENTRIES, Entry
 
 __all__ = ["run_hotpath_benchmark", "write_report", "DEFAULT_OUTPUT"]
@@ -97,19 +98,24 @@ def run_hotpath_benchmark(
     config: Optional[is_sort.IsConfig] = None,
     entries: Sequence[Entry] = STATS_ENTRIES,
     verify: bool = True,
+    host=None,
 ) -> dict:
     """Run the fixed IS workload under each entry, timing the host.
 
     Returns a JSON-serialisable report: per-protocol wall seconds, executed
     simulator events, events/sec and the simulated statistics row (the
     fingerprint that must not change for a fixed seed), plus process-wide
-    totals and peak RSS.
+    totals and peak RSS.  ``host`` (a
+    :class:`repro.obs.host.HostProfiler`) additionally records one phase
+    span per protocol entry under the ``bench`` lane.
     """
     config = config or is_sort.default_config()
     protocols = {}
     total_wall = 0.0
     total_events = 0
     for entry in entries:
+        if host is not None:
+            host.begin("bench", "phase", entry.label)
         with _gc_paused():
             t0 = time.perf_counter()
             result = run_app(
@@ -117,6 +123,8 @@ def run_hotpath_benchmark(
                 config=config, variant=entry.variant, verify=verify,
             )
             wall = time.perf_counter() - t0
+        if host is not None:
+            host.end()
         total_wall += wall
         total_events += result.events
         protocols[entry.label] = {
@@ -149,6 +157,8 @@ def run_hotpath_benchmark(
         "vc_d_events_per_sec": protocols.get("VC_d", {}).get("events_per_sec", 0),
         "peak_rss_kb": _peak_rss_kb(),
         "python": platform.python_version(),
+        "manifest": run_manifest(config=config, wall_seconds=total_wall,
+                                 peak_rss_kb=_peak_rss_kb()),
     }
 
 

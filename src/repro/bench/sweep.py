@@ -108,6 +108,7 @@ class SweepReport:
     jobs: int
     wall_seconds: float  # wall clock of the whole sweep (this process)
     code_fingerprint: str
+    manifest: Optional[dict] = None  # run-manifest block (repro.bench.manifest)
 
     @property
     def hits(self) -> int:
@@ -124,6 +125,7 @@ class SweepReport:
             "cache_misses": len(self.cells) - self.hits,
             "code_fingerprint": self.code_fingerprint,
             "python": platform.python_version(),
+            **({"manifest": self.manifest} if self.manifest is not None else {}),
             "cells": [
                 {
                     "app": c.cell.app,
@@ -303,14 +305,21 @@ def _execute_cell(
 
 def _worker(
     args: tuple[SweepCell, bool, Optional[str], str, bool, Optional[int], bool]
-) -> tuple[AppResult, float, int]:
+) -> tuple[tuple[AppResult, float, int], float, float]:
+    """Pool worker: run + cache one cell; returns ``(out, t_start, t_end)``.
+
+    The start/end stamps are ``perf_counter`` readings — CLOCK_MONOTONIC is
+    system-wide on Linux, so the parent can synthesise queue-wait (submit →
+    start) and run spans on its own host profiler without clock translation.
+    """
     cell, verify, cache_root, code_fp, trace, pdes_workers, check = args
+    t_start = time.perf_counter()
     out = _execute_cell(cell, verify, trace, pdes_workers, check)
     if cache_root is not None:
         ResultCache(cache_root).put(
             cell_key(cell, code_fp, trace, pdes_workers, check), *out
         )
-    return out
+    return out, t_start, time.perf_counter()
 
 
 def run_sweep(
@@ -321,6 +330,7 @@ def run_sweep(
     trace: bool = False,
     pdes_workers: Optional[int] = None,
     check: bool = False,
+    host=None,
 ) -> SweepReport:
     """Run every cell, using the cache and up to ``jobs`` worker processes.
 
@@ -331,19 +341,31 @@ def run_sweep(
     ``jobs=1`` when setting it — the partitions are the parallelism.
     ``check`` runs every cell under the consistency oracle and attaches the
     verdict to each result (see :mod:`repro.obs.oracle`).
+
+    ``host`` (a :class:`repro.obs.host.HostProfiler`) records one lane per
+    cell under the ``sweep`` process: ``cache-hit`` for recalled cells, and
+    ``queue-wait`` (dispatch → worker pickup) + ``run`` spans for executed
+    ones — purely observational, results are bit-identical either way.
     """
     t_start = time.perf_counter()
     code_fp = code_fingerprint()
     cache = ResultCache(cache_dir) if cache_dir is not None else None
     keys = [cell_key(cell, code_fp, trace, pdes_workers, check) for cell in cells]
 
+    def _lane(cell: SweepCell) -> str:
+        return f"{cell.app}/{cell.protocol}/{cell.nprocs}/{cell.variant}"
+
     slots: list[Optional[CellResult]] = [None] * len(cells)
     misses: list[int] = []
     for i, (cell, key) in enumerate(zip(cells, keys)):
+        t_hit = time.perf_counter()
         hit = cache.get(key) if cache is not None else None
         if hit is not None:
             result, wall, rss_kb = hit
             slots[i] = CellResult(cell, result, wall, rss_kb, cache_hit=True)
+            if host is not None:
+                host.add_span(_lane(cell), "cache-hit", "cache-hit",
+                              t_hit, time.perf_counter(), proc="sweep")
         else:
             misses.append(i)
 
@@ -353,23 +375,40 @@ def run_sweep(
             for i in misses
         ]
         with ProcessPoolExecutor(max_workers=min(jobs, len(misses))) as pool:
-            for i, out in zip(misses, pool.map(_worker, work)):
+            t_submit = time.perf_counter()
+            for i, (out, t0, t1) in zip(misses, pool.map(_worker, work)):
                 result, wall, rss_kb = out
                 slots[i] = CellResult(cells[i], result, wall, rss_kb, cache_hit=False)
+                if host is not None:
+                    lane = _lane(cells[i])
+                    host.add_span(lane, "queue-wait", "queue-wait",
+                                  min(t_submit, t0), t0, proc="sweep")
+                    host.add_span(lane, "run", "run", t0, t1, proc="sweep")
     else:
         for i in misses:
+            t0 = time.perf_counter()
             result, wall, rss_kb = _execute_cell(
                 cells[i], verify, trace, pdes_workers, check
             )
             if cache is not None:
                 cache.put(keys[i], result, wall, rss_kb)
             slots[i] = CellResult(cells[i], result, wall, rss_kb, cache_hit=False)
+            if host is not None:
+                host.add_span(_lane(cells[i]), "run", "run",
+                              t0, time.perf_counter(), proc="sweep")
 
+    wall_total = time.perf_counter() - t_start
+    from repro.bench.manifest import run_manifest
+
+    manifest = run_manifest(
+        config=[dataclasses.asdict(c) for c in cells], wall_seconds=wall_total
+    )
     return SweepReport(
         cells=[s for s in slots if s is not None],
         jobs=jobs,
-        wall_seconds=time.perf_counter() - t_start,
+        wall_seconds=wall_total,
         code_fingerprint=code_fp,
+        manifest=manifest,
     )
 
 

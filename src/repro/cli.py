@@ -32,9 +32,21 @@ Commands
     snakeviz/pstats.  This is the host-CPU view the events/sec work uses —
     ``trace`` attributes *simulated* time, ``profile`` attributes *wall*
     time inside the engine and protocol code.
-``report BASE NEW``
-    Compare two benchmark reports (files or ``git:REV[:path]`` specs) and
-    flag regressions; ``--check`` makes regressions a non-zero exit for CI.
+``report SPEC SPEC [SPEC ...]``
+    With two specs: compare two benchmark reports (files or
+    ``git:REV[:path]`` specs) and flag regressions; ``--check`` makes
+    regressions a non-zero exit for CI.  With ``--trend``: track every
+    metric across N reports ordered oldest -> newest (terminal table,
+    ``--html`` sparkline dashboard), gating each consecutive pair with the
+    same exact-simulated / tolerance-gated-throughput semantics.
+
+``run``/``trace`` accept ``--host-trace`` to record *wall-clock* spans of
+the real work (coordinator barrier waits, frame codec, pipe I/O, partition
+execute/sync under ``--pdes-workers``) and print a host-time breakdown
+whose categories sum to measured wall time; with ``--trace-out`` the host
+spans export as a second Perfetto process stream merged with the simulated
+trace.  ``profile --pdes-workers K`` collects per-partition child cProfile
+sessions over the PDES pipes and merges them with the coordinator's.
 ``list``
     Show the available applications, protocols, variants and tables.
 
@@ -147,21 +159,54 @@ def _check_consistency(
     return EXIT_CONSISTENCY if report.verdict == "violations" else 0
 
 
-def _write_trace_outputs(tracer, args: argparse.Namespace) -> None:
-    from repro.obs import chrome_trace, validate_chrome_trace, write_chrome_trace, write_jsonl
+def _write_trace_outputs(tracer, args: argparse.Namespace, host=None) -> None:
+    from repro.obs import (
+        chrome_trace,
+        merged_chrome_trace,
+        validate_chrome_trace,
+        write_chrome_trace,
+        write_jsonl,
+        write_merged_chrome_trace,
+    )
 
     if getattr(args, "trace_out", None):
         # validate before writing: an unbalanced trace (a span opened but
         # never closed) silently renders wrong in Perfetto, so fail loudly
         try:
-            validate_chrome_trace(chrome_trace(tracer))
+            if host is not None:
+                validate_chrome_trace(merged_chrome_trace(tracer, host))
+            else:
+                validate_chrome_trace(chrome_trace(tracer))
         except ValueError as exc:
             raise SystemExit(f"error: trace failed schema validation: {exc}") from exc
-        write_chrome_trace(tracer, args.trace_out)
-        print(f"wrote Chrome trace to {args.trace_out} (open in https://ui.perfetto.dev)")
-    if getattr(args, "jsonl_out", None):
+        if host is not None:
+            write_merged_chrome_trace(tracer, host, args.trace_out)
+            print(f"wrote merged simulated+host Chrome trace to {args.trace_out} "
+                  "(open in https://ui.perfetto.dev)")
+        else:
+            write_chrome_trace(tracer, args.trace_out)
+            print(f"wrote Chrome trace to {args.trace_out} (open in https://ui.perfetto.dev)")
+    if getattr(args, "jsonl_out", None) and tracer is not None:
         write_jsonl(tracer, args.jsonl_out)
         print(f"wrote JSONL events to {args.jsonl_out}")
+
+
+def _make_host(args: argparse.Namespace):
+    """A HostProfiler when --host-trace asks for one."""
+    if getattr(args, "host_trace", False):
+        from repro.obs import HostProfiler
+
+        return HostProfiler("main")
+    return None
+
+
+def _print_host_breakdown(host) -> None:
+    if host is None:
+        return
+    from repro.obs import format_host_breakdown, host_breakdown
+
+    print()
+    print(format_host_breakdown(host_breakdown(host)))
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -190,6 +235,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
         view_tracer = ViewTracer()
     oracle = _make_oracle(args)
+    host = _make_host(args)
     try:
         result = run_app(
             app,
@@ -205,6 +251,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             faults=_load_faults(args),
             pdes_workers=args.pdes_workers,
             pdes_mode=args.pdes_mode,
+            host=host,
         )
     except _pdes_error() as exc:
         print(f"error: --pdes-workers: {exc}", file=sys.stderr)
@@ -235,8 +282,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
         print()
         print(format_breakdown(result.breakdown))
-    if tracer is not None:
-        _write_trace_outputs(tracer, args)
+    _print_host_breakdown(host)
+    if tracer is not None or host is not None:
+        _write_trace_outputs(tracer, args, host=host)
     if metrics is not None:
         from repro.obs import format_contention
 
@@ -308,6 +356,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     tracer = EventTracer()
     metrics = Metrics() if (args.metrics or args.metrics_out) else None
     oracle = _make_oracle(args)
+    host = _make_host(args)
     try:
         result = run_app(
             app,
@@ -322,6 +371,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             faults=_load_faults(args),
             pdes_workers=args.pdes_workers,
             pdes_mode=args.pdes_mode,
+            host=host,
         )
     except _pdes_error() as exc:
         print(f"error: --pdes-workers: {exc}", file=sys.stderr)
@@ -354,14 +404,35 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         if args.metrics_out:
             metrics.write_json(args.metrics_out)
             print(f"wrote metrics snapshot to {args.metrics_out}")
-    _write_trace_outputs(tracer, args)
+    _print_host_breakdown(host)
+    _write_trace_outputs(tracer, args, host=host)
     if oracle is not None:
         return _check_consistency(oracle, args.protocol, args.nprocs, args)
     return 0
 
 
+class _StatsCarrier:
+    """Adapter so ``pstats.Stats.add`` accepts a raw cProfile stats dict.
+
+    Partition workers ship ``prof.stats`` (a plain picklable dict) over the
+    result pipe; ``Stats.add`` wants an object with a ``stats`` attribute
+    and a ``create_stats`` method.
+    """
+
+    def __init__(self, stats_dict):
+        self.stats = stats_dict
+
+    def create_stats(self):
+        pass
+
+
 def _cmd_profile(args: argparse.Namespace) -> int:
-    """Host-CPU profile of one serial run (the events/sec workhorse)."""
+    """Host-CPU profile of one run (the events/sec workhorse).
+
+    With ``--pdes-workers N`` (N > 1) the run forks partition workers; each
+    child runs under its own cProfile and ships its stats dict back over the
+    result pipe, and the printout merges coordinator + partition profiles.
+    """
     app = APPS[args.app]
     if args.protocol == "mpi" and not hasattr(app, "run_mpi"):
         print(f"error: {args.app} has no MPI version (only nn does)", file=sys.stderr)
@@ -370,48 +441,118 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     import pstats
 
     prof = cProfile.Profile()
-    prof.enable()
-    result = run_app(
-        app, args.protocol, args.nprocs,
-        variant=args.variant, verify=not args.no_verify,
-    )
-    prof.disable()
-    print(
-        f"{args.app} on {args.protocol}, {args.nprocs} processors — "
-        f"{result.time:.6f} simulated seconds, {result.events} events"
-    )
+    outcome = None
+    if args.pdes_workers and args.pdes_workers > 1:
+        from repro.sim.pdes import run_partitioned
+
+        config = app.default_config()
+        prof.enable()
+        try:
+            outcome = run_partitioned(
+                app, args.protocol, args.nprocs,
+                config=config, variant=args.variant,
+                workers=args.pdes_workers, mode=args.pdes_mode,
+                profile=True,
+            )
+        except _pdes_error() as exc:
+            prof.disable()
+            print(f"error: --pdes-workers: {exc}", file=sys.stderr)
+            return 2
+        prof.disable()
+        if not args.no_verify:
+            expected = app.sequential(config)
+            if not app.outputs_match(outcome.output, expected):
+                print("error: partitioned output does not match sequential "
+                      "reference", file=sys.stderr)
+                return 2
+        nparts = len(outcome.profiles or {})
+        print(
+            f"{args.app} on {args.protocol}, {args.nprocs} processors, "
+            f"{args.pdes_workers} PDES partitions — "
+            f"{outcome.time:.6f} simulated seconds, "
+            f"coordinator + {nparts} partition profiles merged"
+        )
+    else:
+        prof.enable()
+        result = run_app(
+            app, args.protocol, args.nprocs,
+            variant=args.variant, verify=not args.no_verify,
+        )
+        prof.disable()
+        print(
+            f"{args.app} on {args.protocol}, {args.nprocs} processors — "
+            f"{result.time:.6f} simulated seconds, {result.events} events"
+        )
     print()
     stats = pstats.Stats(prof)
+    if outcome is not None and outcome.profiles:
+        for index in sorted(outcome.profiles):
+            stats.add(_StatsCarrier(outcome.profiles[index]))
     stats.sort_stats(args.sort)
     stats.print_stats(args.top)
     if args.profile_out:
-        prof.dump_stats(args.profile_out)
+        stats.dump_stats(args.profile_out)
         print(f"wrote profile data to {args.profile_out} "
               "(inspect with pstats or snakeviz)")
     return 0
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
+    import subprocess
+
     from repro.obs import (
         DEFAULT_THROUGHPUT_TOLERANCE,
         compare_reports,
+        compute_trend,
         format_html,
         format_report,
+        format_trend,
+        format_trend_html,
         load_report,
     )
 
     tolerance = args.throughput_tolerance
     if tolerance is None:
         tolerance = DEFAULT_THROUGHPUT_TOLERANCE
+    load_errors = (ValueError, OSError, subprocess.CalledProcessError)
+    if args.trend:
+        if len(args.specs) < 2:
+            print("error: --trend needs at least two report specs "
+                  "(oldest first)", file=sys.stderr)
+            return 2
+        try:
+            docs = [load_report(spec) for spec in args.specs]
+            trend = compute_trend(docs, args.specs, tolerance=tolerance)
+        except load_errors as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(format_trend(trend, verbose=args.verbose))
+        if args.html:
+            with open(args.html, "w") as fh:
+                fh.write(format_trend_html(trend))
+            print(f"wrote HTML trend report to {args.html}")
+        if args.check and trend.regressions:
+            print(
+                f"error: {len(trend.regressions)} series regressed beyond "
+                "tolerance",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
+    if len(args.specs) != 2:
+        print("error: report compares exactly two reports "
+              "(or use --trend for N)", file=sys.stderr)
+        return 2
+    base_spec, new_spec = args.specs
     try:
-        base = load_report(args.base)
-        new = load_report(args.new)
+        base = load_report(base_spec)
+        new = load_report(new_spec)
         cmp = compare_reports(
             base, new,
             tolerance=tolerance,
-            base_label=args.base, new_label=args.new,
+            base_label=base_spec, new_label=new_spec,
         )
-    except (ValueError, OSError) as exc:
+    except load_errors as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     print(format_report(cmp, verbose=args.verbose))
@@ -621,6 +762,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--pdes-mode", default="fork", choices=("fork", "inline"),
                        help="PDES partition execution: OS processes (fork, "
                        "default) or single-process round-robin (inline)")
+    p_run.add_argument("--host-trace", action="store_true",
+                       help="profile host wall-clock time (monotonic spans "
+                       "around coordinator/worker work); print a host-time "
+                       "breakdown and merge host spans into --trace-out")
     p_run.set_defaults(fn=_cmd_run)
 
     p_check = sub.add_parser(
@@ -696,6 +841,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("--pdes-mode", default="fork", choices=("fork", "inline"),
                          help="PDES partition execution: OS processes (fork, "
                          "default) or single-process round-robin (inline)")
+    p_trace.add_argument("--host-trace", action="store_true",
+                         help="profile host wall-clock time alongside the "
+                         "simulated trace; print a host-time breakdown and "
+                         "write --trace-out as a merged two-clock trace")
     p_trace.set_defaults(fn=_cmd_trace)
 
     p_profile = sub.add_parser(
@@ -716,15 +865,31 @@ def build_parser() -> argparse.ArgumentParser:
                            help="pstats sort key (default cumulative)")
     p_profile.add_argument("--profile-out", default=None, metavar="PATH",
                            help="dump raw cProfile stats for pstats/snakeviz")
+    p_profile.add_argument("--pdes-workers", type=int, default=None, metavar="K",
+                           help="profile the partitioned PDES run: each forked "
+                           "partition worker runs under its own cProfile and "
+                           "the stats are merged into the printout")
+    p_profile.add_argument("--pdes-mode", default="fork", choices=("fork", "inline"),
+                           help="PDES partition execution: OS processes (fork, "
+                           "default; per-partition profiles collected over the "
+                           "result pipe) or single-process round-robin (inline; "
+                           "the parent profiler already sees everything)")
     p_profile.set_defaults(fn=_cmd_profile)
 
     p_report = sub.add_parser(
         "report",
-        help="compare two benchmark reports (BENCH_hotpath.json / "
-        "BENCH_sweep.json files or git:REV[:path] specs) and flag regressions",
+        help="compare two benchmark reports, or track a trend across N "
+        "(--trend; BENCH files or git:REV[:path] specs) and flag regressions",
     )
-    p_report.add_argument("base", help="baseline report: a path or git:REV[:path]")
-    p_report.add_argument("new", help="candidate report: a path or git:REV[:path]")
+    p_report.add_argument(
+        "specs", nargs="+", metavar="SPEC",
+        help="report specs, oldest first: paths or git:REV[:path] "
+        "(two for a comparison; two or more with --trend)",
+    )
+    p_report.add_argument("--trend", action="store_true",
+                          help="render per-metric trend tables across all "
+                          "given reports instead of a two-way comparison "
+                          "(gating applies to each consecutive pair)")
     p_report.add_argument("--check", action="store_true",
                           help="exit 1 if any metric regresses beyond tolerance")
     p_report.add_argument("--html", default=None, metavar="PATH",

@@ -26,7 +26,12 @@ protocol implementations and the runtimes:
   (:func:`check_history`) that machine-verifies recorded read/write
   histories against the protocol family's memory model;
 * :mod:`repro.obs.report` compares two bench baselines (files or git
-  revisions) and gates CI on regressions.
+  revisions), tracks N-revision trends (``repro report --trend``) and gates
+  CI on regressions;
+* :mod:`repro.obs.host` is the host-time observatory: wall-clock span
+  profiling (:class:`HostProfiler`) of the PDES coordinator/workers, the
+  sweep pool and the perf harness, with a breakdown whose categories sum to
+  measured wall time and a merged host+simulated Perfetto export.
 
 Tracing is **opt-in and zero-overhead when off**: every emission site guards
 on ``sim.tracer is not None`` (the default), so an untraced run executes the
@@ -62,10 +67,18 @@ from repro.obs.critical_path import (
 from repro.obs.export import (
     chrome_trace,
     flame_summary,
+    host_trace_events,
     iter_jsonl_lines,
+    merged_chrome_trace,
     validate_chrome_trace,
     write_chrome_trace,
     write_jsonl,
+    write_merged_chrome_trace,
+)
+from repro.obs.host import (
+    HostProfiler,
+    format_host_breakdown,
+    host_breakdown,
 )
 from repro.obs.metrics import Histogram, Metrics, format_contention
 from repro.obs.oracle import (
@@ -79,11 +92,19 @@ from repro.obs.oracle import (
 )
 from repro.obs.report import (
     DEFAULT_THROUGHPUT_TOLERANCE,
+    GATE_EXACT,
+    GATE_INFO,
+    GATE_THROUGHPUT,
     Comparison,
     MetricDelta,
+    Trend,
+    TrendSeries,
     compare_reports,
+    compute_trend,
     format_html,
     format_report,
+    format_trend,
+    format_trend_html,
     load_report,
 )
 
@@ -105,10 +126,16 @@ __all__ = [
     "format_breakdown",
     "chrome_trace",
     "write_chrome_trace",
+    "merged_chrome_trace",
+    "write_merged_chrome_trace",
+    "host_trace_events",
     "iter_jsonl_lines",
     "write_jsonl",
     "flame_summary",
     "validate_chrome_trace",
+    "HostProfiler",
+    "host_breakdown",
+    "format_host_breakdown",
     "AccessRecorder",
     "OracleReport",
     "Finding",
@@ -131,4 +158,12 @@ __all__ = [
     "load_report",
     "format_report",
     "format_html",
+    "Trend",
+    "TrendSeries",
+    "compute_trend",
+    "format_trend",
+    "format_trend_html",
+    "GATE_EXACT",
+    "GATE_THROUGHPUT",
+    "GATE_INFO",
 ]

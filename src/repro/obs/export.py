@@ -22,6 +22,9 @@ from repro.obs.tracer import EventTracer
 __all__ = [
     "chrome_trace",
     "write_chrome_trace",
+    "merged_chrome_trace",
+    "write_merged_chrome_trace",
+    "host_trace_events",
     "iter_jsonl_lines",
     "write_jsonl",
     "flame_summary",
@@ -31,6 +34,12 @@ __all__ = [
 # engine-global events (pid -1) get their own Perfetto "process"
 GLOBAL_PID = -1
 
+#: host-clock processes (coordinator, partition workers, sweep pool) occupy
+#: pids at and above this base, far away from simulated node ids — the two
+#: streams share one Perfetto timeline but are distinct clock domains
+#: (simulated μs vs host μs since profile start)
+HOST_PID_BASE = 1_000_000
+
 _PHASES = frozenset("BEiCM")
 
 
@@ -38,8 +47,13 @@ def _events_of(trace: "EventTracer | list") -> list:
     return trace.events if isinstance(trace, EventTracer) else list(trace)
 
 
-def chrome_trace(trace: "EventTracer | list") -> dict:
-    """Convert a recorded trace to a Chrome trace-event JSON document."""
+def chrome_trace(trace: "EventTracer | list",
+                 process_names: "Mapping[int, str] | None" = None) -> dict:
+    """Convert a recorded trace to a Chrome trace-event JSON document.
+
+    ``process_names`` overrides the default ``node-{pid}`` labels — the
+    merged host+simulated export uses it to label host-clock processes.
+    """
     events = _events_of(trace)
     out: list[dict] = []
     tids: dict[tuple[int, str], int] = {}
@@ -67,6 +81,10 @@ def chrome_trace(trace: "EventTracer | list") -> dict:
     for ph, t, pid, lane, cat, name, args in events:
         if pid not in seen_pids:
             seen_pids.add(pid)
+            if process_names is not None and pid in process_names:
+                pname = process_names[pid]
+            else:
+                pname = "simulator" if pid == GLOBAL_PID else f"node-{pid}"
             out.append(
                 {
                     "ph": "M",
@@ -74,9 +92,7 @@ def chrome_trace(trace: "EventTracer | list") -> dict:
                     "pid": pid,
                     "tid": 0,
                     "ts": 0,
-                    "args": {
-                        "name": "simulator" if pid == GLOBAL_PID else f"node-{pid}"
-                    },
+                    "args": {"name": pname},
                 }
             )
         tid = tid_of(pid, lane)
@@ -114,6 +130,79 @@ def chrome_trace(trace: "EventTracer | list") -> dict:
 
 def write_chrome_trace(trace: "EventTracer | list", path: str) -> None:
     doc = chrome_trace(trace)
+    with open(path, "w") as fh:
+        json.dump(doc, fh, indent=None, separators=(",", ":"), sort_keys=False)
+        fh.write("\n")
+
+
+# -- host-clock stream (second Perfetto process group) -----------------------------
+
+
+def host_trace_events(host, base_pid: int = HOST_PID_BASE,
+                      t0: "float | None" = None):
+    """Convert a :class:`repro.obs.host.HostProfiler` into tracer tuples.
+
+    Returns ``(events, process_names)``: the same ``(ph, t, pid, lane, cat,
+    name, args)`` tuple stream :func:`chrome_trace` consumes, plus the pid →
+    ``host:<proc>`` label map.  Each host process gets a pid at or above
+    ``base_pid`` (first-appearance order); timestamps are rebased to ``t0``
+    (default: the earliest span start) so the host stream starts near zero —
+    it shares the Perfetto timeline with the simulated stream but is a
+    distinct clock domain.
+
+    Spans within one ``(proc, lane)`` are emitted as properly nested
+    ``B``/``E`` pairs; the profiler's instrumentation sites guarantee they
+    nest or are disjoint.
+    """
+    spans = host.spans
+    if not spans:
+        return [], {}
+    if t0 is None:
+        t0 = min(s[4] for s in spans)
+    pid_of: dict[str, int] = {}
+    process_names: dict[int, str] = {}
+    lanes: dict[tuple, list] = {}
+    for s in spans:
+        proc = s[0]
+        pid = pid_of.get(proc)
+        if pid is None:
+            pid = pid_of[proc] = base_pid + len(pid_of)
+            process_names[pid] = f"host:{proc}"
+        lanes.setdefault((pid, s[1]), []).append(s)
+    events: list[tuple] = []
+    for (pid, lane), group in lanes.items():
+        # outermost-first at equal starts, so enclosing spans open first
+        group.sort(key=lambda s: (s[4], -s[5]))
+        open_ends: list[float] = []
+        for proc, _lane, cat, name, s0, s1, args in group:
+            while open_ends and open_ends[-1] <= s0:
+                events.append(("E", open_ends.pop() - t0, pid, lane, cat, None, None))
+            events.append(("B", s0 - t0, pid, lane, cat, name, args or None))
+            open_ends.append(s1)
+        while open_ends:
+            events.append(("E", open_ends.pop() - t0, pid, lane, "", None, None))
+    return events, process_names
+
+
+def merged_chrome_trace(trace: "EventTracer | list | None", host) -> dict:
+    """One Chrome trace document: simulated stream + host-clock stream.
+
+    The simulated events keep their node pids; the host profiler's spans
+    appear as additional ``host:*`` processes (pids from
+    :data:`HOST_PID_BASE`).  The two streams are distinct clock domains —
+    simulated microseconds vs host microseconds since profile start — which
+    Perfetto renders side by side on one timeline.  Either side may be
+    absent (``trace=None`` exports host-only).
+    """
+    sim_events = _events_of(trace) if trace is not None else []
+    host_events, process_names = host_trace_events(host) if host is not None \
+        else ([], {})
+    return chrome_trace(sim_events + host_events, process_names=process_names)
+
+
+def write_merged_chrome_trace(trace: "EventTracer | list | None", host,
+                              path: str) -> None:
+    doc = merged_chrome_trace(trace, host)
     with open(path, "w") as fh:
         json.dump(doc, fh, indent=None, separators=(",", ":"), sort_keys=False)
         fh.write("\n")

@@ -25,19 +25,29 @@ dashboard (inline CSS, no external assets).
 
 from __future__ import annotations
 
+import hashlib
 import html as _html
 import json
 import subprocess
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
 __all__ = [
     "MetricDelta",
     "Comparison",
+    "TrendSeries",
+    "Trend",
     "load_report",
     "compare_reports",
+    "compute_trend",
+    "GATE_EXACT",
+    "GATE_THROUGHPUT",
+    "GATE_INFO",
     "format_report",
     "format_html",
+    "format_trend",
+    "format_trend_html",
 ]
 
 DEFAULT_THROUGHPUT_TOLERANCE = 0.25  # relative; see module docstring
@@ -79,7 +89,12 @@ class Comparison:
 
 
 def load_report(spec: str) -> dict:
-    """Load a bench JSON from a path or a ``git:REV[:path]`` spec."""
+    """Load a bench JSON from a path or a ``git:REV[:path]`` spec.
+
+    Files written before the run-manifest block existed (pre-schema-1) are
+    backfilled with ``{"schema": 0}`` and a warning, so historical
+    ``git:REV`` specs keep working in trend mode.
+    """
     if spec.startswith("git:"):
         rest = spec[4:]
         rev, _, path = rest.partition(":")
@@ -89,9 +104,18 @@ def load_report(spec: str) -> dict:
             capture_output=True,
             check=True,
         ).stdout
-        return json.loads(blob)
-    with open(spec) as fh:
-        return json.load(fh)
+        doc = json.loads(blob)
+    else:
+        with open(spec) as fh:
+            doc = json.load(fh)
+    if isinstance(doc, dict) and "manifest" not in doc:
+        warnings.warn(
+            f"{spec}: no run manifest (written before schema 1); "
+            "assuming schema 0",
+            stacklevel=2,
+        )
+        doc["manifest"] = {"schema": 0}
+    return doc
 
 
 def _report_kind(doc: dict) -> str:
@@ -100,6 +124,8 @@ def _report_kind(doc: dict) -> str:
         return "sweep"
     if bench == "pdes":
         return "pdes"
+    if bench == "faults_degradation":
+        return "degradation"
     if isinstance(doc.get("protocols"), dict):
         return "hotpath"
     raise ValueError(f"unrecognised bench report (benchmark={bench!r})")
@@ -194,6 +220,11 @@ def compare_reports(
     if _report_kind(new) != kind:
         raise ValueError(
             f"cannot compare a {kind} report against a {_report_kind(new)} report"
+        )
+    if kind == "degradation":
+        raise ValueError(
+            "degradation reports have no two-way comparison rules; "
+            "use `repro report --trend` instead"
         )
     cmp = Comparison(kind=kind, base_label=base_label, new_label=new_label)
     deltas = cmp.deltas
@@ -326,6 +357,194 @@ def _compare_pdes(base: dict, new: dict, tolerance: float, deltas: list) -> None
                                       "missing", "present", CHANGED))
 
 
+# -- trend tracking ----------------------------------------------------------------
+#
+# ``repro report --trend`` generalises the two-way comparison to N ordered
+# revisions.  Each report flattens into (key, metric) -> (value, gate) and the
+# gates reuse the two-way semantics over every *consecutive* pair:
+#
+#   exact       simulated statistics — any difference is REGRESSED
+#   throughput  host events/sec — gated at the relative tolerance
+#   info        wall/RSS/derived — reported, never fails --check
+
+GATE_EXACT = "exact"
+GATE_THROUGHPUT = "throughput"
+GATE_INFO = "info"
+
+
+@dataclass
+class TrendSeries:
+    """One metric tracked across every revision of a trend."""
+
+    key: str
+    metric: str
+    gate: str
+    values: list  # one per revision; None where the revision lacks the metric
+    statuses: list[str] = field(default_factory=list)  # per consecutive pair
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def worst(self) -> str:
+        order = {REGRESSED: 0, CHANGED: 1, IMPROVED: 2, OK: 3}
+        return min(self.statuses, key=lambda s: order.get(s, 4), default=OK)
+
+    @property
+    def regressed(self) -> bool:
+        return REGRESSED in self.statuses
+
+
+@dataclass
+class Trend:
+    """N-revision trend over same-kind bench reports (oldest first)."""
+
+    kind: str
+    labels: list[str]
+    series: list[TrendSeries] = field(default_factory=list)
+    manifests: list[dict] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[TrendSeries]:
+        return [s for s in self.series if s.regressed]
+
+
+def _row_hash(row: Any) -> Optional[str]:
+    if row is None:
+        return None
+    return hashlib.sha256(
+        json.dumps(row, sort_keys=True).encode()
+    ).hexdigest()[:16]
+
+
+def _flatten(doc: dict, kind: str) -> dict:
+    """One report -> ordered ``{(key, metric): (value, gate)}``."""
+    out: dict = {}
+
+    def put(key: str, metric: str, value: Any, gate: str) -> None:
+        if value is not None:
+            out[(key, metric)] = (value, gate)
+
+    if kind == "hotpath":
+        for label, entry in (doc.get("protocols") or {}).items():
+            put(label, "events", entry.get("events"), GATE_EXACT)
+            put(label, "sim_time_seconds", entry.get("sim_time_seconds"), GATE_EXACT)
+            put(label, "table_row_hash", _row_hash(entry.get("table_row")), GATE_EXACT)
+            put(label, "events_per_sec", entry.get("events_per_sec"), GATE_THROUGHPUT)
+            put(label, "wall_seconds", entry.get("wall_seconds"), GATE_INFO)
+        put("(total)", "vc_d_events_per_sec", doc.get("vc_d_events_per_sec"),
+            GATE_THROUGHPUT)
+        put("(total)", "events_per_sec", doc.get("events_per_sec"), GATE_THROUGHPUT)
+        put("(total)", "wall_seconds", doc.get("wall_seconds"), GATE_INFO)
+        put("(total)", "peak_rss_kb", doc.get("peak_rss_kb"), GATE_INFO)
+    elif kind == "sweep":
+        for cell in doc.get("cells", []):
+            key = "/".join(str(cell.get(k)) for k in
+                           ("app", "protocol", "variant", "nprocs", "seed"))
+            put(key, "fingerprint", cell.get("fingerprint"), GATE_EXACT)
+            put(key, "events", cell.get("events"), GATE_EXACT)
+            put(key, "sim_time_seconds", cell.get("sim_time_seconds"), GATE_EXACT)
+            put(key, "wall_seconds", cell.get("wall_seconds"), GATE_INFO)
+        put("(total)", "wall_seconds", doc.get("wall_seconds"), GATE_INFO)
+    elif kind == "pdes":
+        for cell in (doc.get("conformance") or {}).get("cells", []):
+            key = "/".join(str(cell.get(k)) for k in
+                           ("app", "protocol", "variant", "nprocs"))
+            put(key, "fingerprint", cell.get("fingerprint"), GATE_EXACT)
+            put(key, "pdes_fingerprint", cell.get("pdes_fingerprint"), GATE_EXACT)
+            put(key, "match", cell.get("match"), GATE_EXACT)
+            # window accounting depends on the batching setting, which may
+            # differ between revisions: informational in trend mode
+            for f in ("windows", "elided_windows", "leased_windows"):
+                put(key, f, cell.get(f), GATE_INFO)
+        scaling = doc.get("scaling") or {}
+        skey = f"halo/{scaling.get('nprocs')}p"
+        put(skey, "sim_time_seconds", scaling.get("sim_time_seconds"), GATE_EXACT)
+        serial = scaling.get("serial") or {}
+        put(f"{skey}/serial", "events", serial.get("events"), GATE_EXACT)
+        put(f"{skey}/serial", "events_per_sec", serial.get("events_per_sec"),
+            GATE_THROUGHPUT)
+        for part in scaling.get("partitioned", []):
+            pkey = f"{skey}/x{part.get('workers')}"
+            put(pkey, "events", part.get("events"), GATE_EXACT)
+            put(pkey, "output_matches", part.get("output_matches"), GATE_EXACT)
+            put(pkey, "events_per_sec", part.get("events_per_sec"),
+                GATE_THROUGHPUT)
+    elif kind == "degradation":
+        for cell in doc.get("grid", []):
+            key = f"{cell.get('protocol')}/loss={cell.get('loss_rate')}"
+            put(key, "failed", cell.get("failed"), GATE_EXACT)
+            put(key, "time", cell.get("time"), GATE_EXACT)
+            put(key, "rexmit", cell.get("rexmit"), GATE_EXACT)
+            put(key, "drops", cell.get("drops"), GATE_EXACT)
+            put(key, "slowdown", cell.get("slowdown"), GATE_INFO)
+    else:  # pragma: no cover - _report_kind rejects unknown docs first
+        raise ValueError(f"no trend rules for kind {kind!r}")
+    return out
+
+
+def _pair_status(gate: str, old: Any, new: Any,
+                 tolerance: float) -> tuple[str, str]:
+    """Status + note for one consecutive revision pair of one series."""
+    if old is None and new is None:
+        return OK, ""
+    if old is None:
+        return CHANGED, "added"
+    if new is None:
+        if gate == GATE_EXACT:
+            return REGRESSED, "metric disappeared (coverage lost)"
+        return CHANGED, "missing"
+    if gate == GATE_EXACT:
+        if old == new:
+            return OK, ""
+        return REGRESSED, "simulated statistics changed"
+    if gate == GATE_THROUGHPUT:
+        d = _ratio_delta("", "", old, new, tolerance)
+        return d.status, d.note
+    d = _ratio_delta("", "", old, new, None,
+                     higher_is_better=False)
+    return d.status, d.note
+
+
+def compute_trend(
+    docs: list[dict],
+    labels: list[str],
+    tolerance: float = DEFAULT_THROUGHPUT_TOLERANCE,
+) -> Trend:
+    """Build the per-metric trend over ``docs`` (ordered oldest -> newest).
+
+    All documents must be the same report kind.  Every metric is gated over
+    each *consecutive* pair with the two-way semantics (exact simulated /
+    tolerance-gated throughput / report-only host numbers); a series is a
+    regression iff any pair regressed.
+    """
+    if len(docs) < 2:
+        raise ValueError("a trend needs at least two reports")
+    if len(docs) != len(labels):
+        raise ValueError("one label per report, in the same order")
+    kinds = [_report_kind(d) for d in docs]
+    if len(set(kinds)) != 1:
+        raise ValueError(
+            f"cannot trend across report kinds: {', '.join(sorted(set(kinds)))}"
+        )
+    kind = kinds[0]
+    flat = [_flatten(d, kind) for d in docs]
+    keys: dict = {}  # ordered union of (key, metric), first-appearance order
+    for f in flat:
+        for km, (_v, gate) in f.items():
+            keys.setdefault(km, gate)
+    trend = Trend(kind=kind, labels=list(labels),
+                  manifests=[d.get("manifest") or {"schema": 0} for d in docs])
+    for (key, metric), gate in keys.items():
+        values = [f[(key, metric)][0] if (key, metric) in f else None
+                  for f in flat]
+        series = TrendSeries(key=key, metric=metric, gate=gate, values=values)
+        for old, new in zip(values, values[1:]):
+            status, note = _pair_status(gate, old, new, tolerance)
+            series.statuses.append(status)
+            series.notes.append(note)
+        trend.series.append(series)
+    return trend
+
+
 # -- rendering ---------------------------------------------------------------------
 
 
@@ -400,5 +619,122 @@ def format_html(cmp: Comparison) -> str:
         f"{len(cmp.regressions)} regression(s) over {len(cmp.deltas)} compared metric(s)</p>"
         "<table><thead><tr><th>status</th><th>key</th><th>metric</th>"
         f"<th>{esc(cmp.base_label)}</th><th>{esc(cmp.new_label)}</th><th>note</th></tr></thead>"
+        f"<tbody>{''.join(rows)}</tbody></table></body></html>\n"
+    )
+
+
+# -- trend rendering ---------------------------------------------------------------
+
+
+def _trend_note(series: TrendSeries) -> str:
+    for status, note in zip(series.statuses, series.notes):
+        if status == REGRESSED and note:
+            return note
+    for note in series.notes:
+        if note:
+            return note
+    return ""
+
+
+def format_trend(trend: Trend, verbose: bool = False) -> str:
+    """Terminal trend table: one row per metric, one column per revision."""
+    lines = [
+        f"Trend report ({trend.kind}): {' -> '.join(trend.labels)}",
+        "=" * 64,
+    ]
+    revs = []
+    for label, manifest in zip(trend.labels, trend.manifests):
+        rev = (manifest or {}).get("git_rev")
+        revs.append(f"{label} [{rev[:10]}]" if rev else label)
+    lines.append("revisions: " + " -> ".join(revs))
+    interesting = [s for s in trend.series if s.worst != OK]
+    order = {REGRESSED: 0, CHANGED: 1, IMPROVED: 2}
+    interesting.sort(key=lambda s: (order.get(s.worst, 3), s.key, s.metric))
+    shown = interesting if verbose else interesting[:40]
+    for s in shown:
+        mark = {REGRESSED: "FAIL", IMPROVED: "  up", CHANGED: "  ~ "}[s.worst]
+        vals = " -> ".join(_short(v, 16) if v is not None else "·"
+                           for v in s.values)
+        lines.append(
+            f"{mark}  {s.key:<28} {s.metric:<20} {vals}  {_trend_note(s)}"
+        )
+    if len(interesting) > len(shown):
+        lines.append(f"… {len(interesting) - len(shown)} more (use --verbose)")
+    n_reg = len(trend.regressions)
+    steady = sum(1 for s in trend.series if s.worst == OK)
+    lines.append("-" * 64)
+    lines.append(
+        f"{n_reg} regressing metric(s), "
+        f"{sum(1 for s in trend.series if s.worst == CHANGED)} changed, "
+        f"{sum(1 for s in trend.series if s.worst == IMPROVED)} improved, "
+        f"{steady} steady over {len(trend.labels)} revision(s)"
+    )
+    lines.append("verdict: " + ("REGRESSED" if n_reg else "ok"))
+    return "\n".join(lines)
+
+
+def _sparkline(values: list, width: int = 120, height: int = 28) -> str:
+    """Inline SVG polyline over the numeric values of one series."""
+    nums = [(i, v) for i, v in enumerate(values)
+            if isinstance(v, (int, float)) and not isinstance(v, bool)]
+    if len(nums) < 2:
+        return ""
+    lo = min(v for _i, v in nums)
+    hi = max(v for _i, v in nums)
+    span = (hi - lo) or 1.0
+    n = len(values) - 1
+    pts = " ".join(
+        f"{round(i / n * (width - 4) + 2, 1)},"
+        f"{round((1 - (v - lo) / span) * (height - 6) + 3, 1)}"
+        for i, v in nums
+    )
+    return (
+        f"<svg class='spark' width='{width}' height='{height}' "
+        f"viewBox='0 0 {width} {height}'>"
+        f"<polyline points='{pts}' fill='none' stroke='currentColor' "
+        "stroke-width='1.5'/></svg>"
+    )
+
+
+def format_trend_html(trend: Trend) -> str:
+    """Standalone single-file HTML trend dashboard with sparklines."""
+    esc = _html.escape
+    rows = []
+    order = {REGRESSED: 0, CHANGED: 1, IMPROVED: 2, OK: 3}
+    for s in sorted(trend.series,
+                    key=lambda s: (order.get(s.worst, 4), s.key, s.metric)):
+        vals = " &rarr; ".join(
+            esc(_short(v, 20)) if v is not None else "·" for v in s.values
+        )
+        rows.append(
+            f"<tr class='{esc(s.worst)}'>"
+            f"<td class='status'>{esc(s.worst)}</td>"
+            f"<td>{esc(s.gate)}</td>"
+            f"<td><code>{esc(s.key)}</code></td><td>{esc(s.metric)}</td>"
+            f"<td>{vals}</td><td>{_sparkline(s.values)}</td>"
+            f"<td>{esc(_trend_note(s))}</td></tr>"
+        )
+    n_reg = len(trend.regressions)
+    verdict = "REGRESSED" if n_reg else "ok"
+    cls = "fail" if n_reg else "pass"
+    revs = []
+    for label, manifest in zip(trend.labels, trend.manifests):
+        rev = (manifest or {}).get("git_rev")
+        schema = (manifest or {}).get("schema", 0)
+        extra = f" [{esc(rev[:10])}]" if rev else (
+            " [no manifest]" if not schema else "")
+        revs.append(f"<code>{esc(label)}</code>{extra}")
+    return (
+        "<!doctype html><html><head><meta charset='utf-8'>"
+        f"<title>repro trend report</title><style>{_HTML_STYLE}"
+        ".spark { color: #4c51bf; vertical-align: middle; }"
+        "</style></head><body>"
+        f"<h1>Trend report ({esc(trend.kind)})</h1>"
+        f"<p>{' &rarr; '.join(revs)}</p>"
+        f"<p><span class='verdict {cls}'>{verdict}</span> — "
+        f"{n_reg} regressing metric(s) over {len(trend.series)} tracked "
+        f"across {len(trend.labels)} revision(s)</p>"
+        "<table><thead><tr><th>status</th><th>gate</th><th>key</th>"
+        "<th>metric</th><th>values</th><th>trend</th><th>note</th></tr></thead>"
         f"<tbody>{''.join(rows)}</tbody></table></body></html>\n"
     )

@@ -98,14 +98,26 @@ Why this is exact (not just approximately synchronised):
   owned shards in node order reproduces the serial float-summation order.
 
 What the driver refuses (``PdesError``): fault plans and ``random_drop_prob``
-(perturbed arrivals bypass the pump by design), view tracers (instantaneous
-global observers), and ``hlrc_d`` (its home assignment needs an
-instantaneous directory read — see
+(perturbed arrivals bypass the pump by design), and ``hlrc_d`` (its home
+assignment needs an instantaneous directory read — see
 :meth:`repro.protocols.directory.PageDirectory.origin_any`).  Contention
-metrics and the consistency-oracle recorder *are* supported: each partition
-records its own shard (metrics in log mode journal every operation with its
-sim-time) and the driver k-way merges the shards in serial event order, the
-same way stats and tracers merge.
+metrics, the consistency-oracle recorder and the VOPP view tracer *are*
+supported: each partition records its own shard (metrics and view tracers
+journal every operation with its sim-time) and the driver k-way merges the
+shards in serial event order, the same way stats and tracers merge.
+
+Host-time observability: pass ``host`` (a
+:class:`repro.obs.host.HostProfiler`) to record wall-clock spans around the
+coordinator's real work — pre-fork ``setup``, ``barrier-wait`` (blocking on
+partition reports), frame ``route``, ``pipe-send`` and final ``merge`` —
+while each partition worker records its own ``build`` / ``execute`` /
+``decode`` / ``encode`` / ``sync-wait`` / ``finalize`` spans and ships them
+back with its result (``perf_counter`` is system-wide on Linux, so no clock
+translation is needed).  ``profile=True`` additionally runs each forked
+worker under ``cProfile`` and returns the picklable per-partition stats
+tables on ``PdesOutcome.profiles`` — without it, a profile of a fork-mode
+run silently shows coordinator-only time.  Both are observers: they never
+touch the simulated state.
 
 ``mode="fork"`` runs each partition in a forked OS process (pipes carry the
 barrier traffic); ``mode="inline"`` runs all partitions in-process — same
@@ -285,13 +297,16 @@ class PartitionResult:
     tracer: Any  # per-partition EventTracer, or None
     oracle: Any = None  # per-partition AccessRecorder, or None
     metrics: Any = None  # per-partition logged Metrics shard, or None
+    view_tracer: Any = None  # per-partition logged ViewTracer shard, or None
+    host: Any = None  # per-partition HostProfiler, or None
+    profile: Any = None  # picklable cProfile stats table (fork mode), or None
 
 
 class PartitionWorld:
     """One partition: a full system replica plus its window-protocol hooks."""
 
     def __init__(self, index, owned, sim, cluster, switch, oracles, pending,
-                 extract_fn, rank_stats_fn):
+                 extract_fn, rank_stats_fn, view_tracer=None, host=None):
         self.index = index
         self.owned = list(owned)
         self.sim = sim
@@ -303,6 +318,8 @@ class PartitionWorld:
         self._rank_stats = rank_stats_fn
         self._cfg = cluster.netcfg
         self._d_send = self._cfg.min_send_delay()
+        self.view_tracer = view_tracer
+        self.host = host  # per-partition HostProfiler, or None
 
     def report(self) -> tuple:
         """Barrier upload: ``("r", N, O)`` or ``("R", N, O, frames, deltas)``.
@@ -313,12 +330,18 @@ class PartitionWorld:
         mutate a shared oracle).  The short ``"r"`` form is the null-barrier
         fast path: empty outbox, no oracle deltas.
         """
+        host = self.host
+        if host is not None:
+            host.begin("serve", "encode")
         n = self.sim.peek_next_time()
         outbox = self.switch.take_outbox()
         deltas = [o.drain_deltas() for o in self.oracles]
-        return ("r", n, self._output_bound()) if not outbox and \
+        out = ("r", n, self._output_bound()) if not outbox and \
             _deltas_empty(deltas) else \
             ("R", n, self._output_bound(), encode_frames(outbox), deltas)
+        if host is not None:
+            host.end()
+        return out
 
     def _output_bound(self) -> float:
         """Earliest future instant this partition can influence another.
@@ -424,14 +447,27 @@ class PartitionWorld:
     def advance(self, window_end: float, frames_buf: bytes = b"",
                 foreign_deltas=()) -> None:
         """Barrier download + one window: inject, apply, run ``[now, W)``."""
-        if frames_buf:
-            self.switch.inject(decode_frames(frames_buf))
-        for deltas in foreign_deltas:
-            for oracle, d in zip(self.oracles, deltas):
-                oracle.apply_deltas(d)
+        host = self.host
+        if frames_buf or foreign_deltas:
+            if host is not None:
+                host.begin("serve", "decode")
+            if frames_buf:
+                self.switch.inject(decode_frames(frames_buf))
+            for deltas in foreign_deltas:
+                for oracle, d in zip(self.oracles, deltas):
+                    oracle.apply_deltas(d)
+            if host is not None:
+                host.end()
+        if host is not None:
+            host.begin("serve", "execute")
         self.sim.run(until=window_end, inclusive=False)
+        if host is not None:
+            host.end()
 
     def finalize(self, want_output: bool) -> PartitionResult:
+        host = self.host
+        if host is not None:
+            host.begin("serve", "finalize")
         results = self.pending.finish()
         rank_stats = None
         if self._rank_stats is not None:
@@ -439,7 +475,10 @@ class PartitionWorld:
         metrics = self.sim.metrics
         if metrics is not None:
             metrics.detach_clock()  # the shard crosses the pipe; sims don't pickle
-        return PartitionResult(
+        view_tracer = self.view_tracer
+        if view_tracer is not None:
+            view_tracer.detach_clock()
+        result = PartitionResult(
             index=self.index,
             owned=self.owned,
             finish_times=list(self.pending.finish_times),
@@ -452,12 +491,26 @@ class PartitionWorld:
             tracer=self.sim.tracer,
             oracle=self.sim.oracle,
             metrics=metrics,
+            view_tracer=view_tracer,
         )
+        if host is not None:
+            host.end()  # finalize
+            host.end()  # the "total" span opened by _build_world
+            result.host = host
+        return result
 
 
 def _build_world(index, owned, app_module, protocol, nprocs, config, variant,
-                 netcfg, nodecfg, trace, oracle=False, metrics=False) -> PartitionWorld:
+                 netcfg, nodecfg, trace, oracle=False, metrics=False,
+                 view_trace=False, host_trace=False) -> PartitionWorld:
     """Construct one partition's replica (identical code path to serial)."""
+    host = None
+    if host_trace:
+        from repro.obs.host import HostProfiler
+
+        host = HostProfiler(f"partition-{index}")
+        host.begin("serve", "total")  # closed by finalize()
+        host.begin("serve", "build")
     sim = Simulator(queue="auto")
 
     def _observers() -> None:
@@ -476,6 +529,7 @@ def _build_world(index, owned, app_module, protocol, nprocs, config, variant,
 
             sim.metrics = Metrics(sim=sim)
 
+    view_tracer = None
     if protocol == "mpi":
         from repro.mpi.comm import MpiSystem
 
@@ -493,6 +547,11 @@ def _build_world(index, owned, app_module, protocol, nprocs, config, variant,
         system = make_system(nprocs, protocol, netcfg=netcfg, nodecfg=nodecfg, sim=sim)
         cluster = system.dsm.cluster
         _observers()
+        if view_trace:
+            from repro.tools.tracer import ViewTracer
+
+            view_tracer = ViewTracer(sim=sim)
+            system.dsm.tracer = view_tracer
         switch = _make_partition_switch(cluster, owned)
         body = app_module.build(system, config, variant)
         oracles = (system.dsm.directory, system.dsm.views)
@@ -505,8 +564,11 @@ def _build_world(index, owned, app_module, protocol, nprocs, config, variant,
     for oracle in oracles:
         oracle.capture_deltas()
     pending = system.start_program(body, ranks=owned)
+    if host is not None:
+        host.end()  # build
     return PartitionWorld(index, owned, sim, cluster, switch, oracles, pending,
-                          extract_fn, rank_stats_fn)
+                          extract_fn, rank_stats_fn,
+                          view_tracer=view_tracer, host=host)
 
 
 # -- coordinator ports ------------------------------------------------------------
@@ -544,16 +606,33 @@ class _InlinePort:
         pass
 
 
-def _worker_main(conn, index, build, want_output, msg_id_base) -> None:
-    """Forked partition process: build the world, serve barrier commands."""
+def _worker_main(conn, index, build, want_output, msg_id_base,
+                 profile=False) -> None:
+    """Forked partition process: build the world, serve barrier commands.
+
+    ``profile`` wraps the whole serve loop in a cProfile session and ships
+    the picklable stats table back on the final :class:`PartitionResult`
+    (the parent's profiler never observes forked children).
+    """
+    prof = None
     try:
         from repro.net.message import set_msg_id_base
 
         set_msg_id_base(msg_id_base)
+        if profile:
+            import cProfile
+
+            prof = cProfile.Profile()
+            prof.enable()
         world = build()
+        host = world.host
         conn.send(world.report())
         while True:
+            if host is not None:
+                host.begin("serve", "sync-wait")
             cmd = conn.recv()
+            if host is not None:
+                host.end()
             tag = cmd[0]
             if tag == "s":  # bare window grant: nothing to download
                 world.advance(cmd[1])
@@ -562,11 +641,19 @@ def _worker_main(conn, index, build, want_output, msg_id_base) -> None:
                 world.advance(cmd[1], cmd[2], cmd[3])
                 conn.send(world.report())
             elif tag == "finish":
-                conn.send(("done", world.finalize(want_output)))
+                final = world.finalize(want_output)
+                if prof is not None:
+                    prof.disable()
+                    prof.create_stats()  # makes .stats a plain picklable dict
+                    final.profile = prof.stats
+                    prof = None
+                conn.send(("done", final))
                 return
             else:  # pragma: no cover - protocol bug
                 raise RuntimeError(f"unknown PDES command {tag!r}")
     except BaseException:
+        if prof is not None:
+            prof.disable()
         try:
             conn.send(("error", traceback.format_exc()))
         except Exception:  # pragma: no cover - parent already gone
@@ -578,13 +665,14 @@ def _worker_main(conn, index, build, want_output, msg_id_base) -> None:
 class _ForkPort:
     """One forked partition process behind a pipe."""
 
-    def __init__(self, ctx, index, build, want_output):
+    def __init__(self, ctx, index, build, want_output, profile=False):
         self.index = index
         self.conn, child = ctx.Pipe()
         # fork start method: the build closure is inherited, never pickled
         self.proc = ctx.Process(
             target=_worker_main,
-            args=(child, index, build, want_output, 1 + index * MSG_ID_STRIDE),
+            args=(child, index, build, want_output,
+                  1 + index * MSG_ID_STRIDE, profile),
             name=f"pdes-{index}",
         )
         self.proc.start()
@@ -613,7 +701,8 @@ class _ForkPort:
 # -- the window loop --------------------------------------------------------------
 
 
-def _drive(ports, owner_of, netcfg, has_oracles, batching, observer=None):
+def _drive(ports, owner_of, netcfg, has_oracles, batching, observer=None,
+           host=None):
     """Run the window protocol over a set of ports.
 
     Returns ``(finals, stats)`` with ``stats`` carrying the barrier
@@ -640,7 +729,11 @@ def _drive(ports, owner_of, netcfg, has_oracles, batching, observer=None):
     d_induced = netcfg.min_deliver_delay()
     if not has_oracles:
         d_induced += netcfg.min_send_delay()
+    if host is not None:
+        host.begin("run", "barrier-wait")
     replies = [_expect(port.recv(), i) for i, port in enumerate(ports)]
+    if host is not None:
+        host.end()
     windows = elided = leased = 0
     frame_bytes = 0
     while True:
@@ -655,8 +748,12 @@ def _drive(ports, owner_of, netcfg, has_oracles, batching, observer=None):
                     delta_of[i] = r[4]
         T = min(r[1] for r in replies)
         if buffers:
+            if host is not None:
+                host.begin("run", "route")
             inboxes, arrival_mins, load_mins = route_frames(
                 buffers, owner_of, nparts, byte_seconds)
+            if host is not None:
+                host.end()
             t = min(arrival_mins)
             if t < T:
                 T = t
@@ -703,6 +800,8 @@ def _drive(ports, owner_of, netcfg, has_oracles, batching, observer=None):
                 else [t for t in arrival_mins if t != math.inf],
                 "null": null_round,
             })
+        if host is not None:
+            host.begin("run", "pipe-send")
         for i, port in enumerate(ports):
             buf = inboxes[i] if inboxes is not None else b""
             foreign = [d for j, d in enumerate(delta_of)
@@ -712,10 +811,19 @@ def _drive(ports, owner_of, netcfg, has_oracles, batching, observer=None):
                 port.send(("S", window_end, buf, foreign))
             else:
                 port.send(("s", window_end))
+        if host is not None:
+            host.end()
+            host.begin("run", "barrier-wait")
         replies = [_expect(port.recv(), i) for i, port in enumerate(ports)]
+        if host is not None:
+            host.end()
+    if host is not None:
+        host.begin("run", "barrier-wait", "finish")
     for port in ports:
         port.send(("finish",))
     finals = [_expect(port.recv(), i, tag="done") for i, port in enumerate(ports)]
+    if host is not None:
+        host.end()
     stats = {
         "windows": windows,
         "elided_windows": elided,
@@ -755,6 +863,8 @@ class PdesOutcome:
     timer_spills: int
     oracle: Any = None  # merged AccessRecorder, or None
     metrics: Any = None  # merged Metrics registry, or None
+    view_tracer: Any = None  # merged ViewTracer, or None
+    profiles: Any = None  # {partition: cProfile stats table} (fork+profile), or None
     elided_windows: int = 0  # rounds that skipped the frame/delta exchange
     leased_windows: int = 0  # extra λ-windows granted by multi-window leases
     frame_bytes: int = 0  # encoded cross-partition frame bytes routed
@@ -772,11 +882,13 @@ def run_partitioned(
     nodecfg=None,
     trace: bool = False,
     oracle: bool = False,
-    view_tracer=None,
+    view_trace: bool = False,
     metrics: bool = False,
     faults=None,
     batching: bool = True,
     observer=None,
+    host=None,
+    profile: bool = False,
 ) -> PdesOutcome:
     """Run one application under the partitioned driver.
 
@@ -788,13 +900,21 @@ def run_partitioned(
     the minimal ``[T, T+λ)``) for conformance comparison.  Raises
     :class:`PdesError` for configurations the conservative scheme cannot
     replay (see module docstring).
+
+    ``host`` is an optional :class:`repro.obs.host.HostProfiler`: the
+    coordinator records setup/barrier-wait/route/pipe-send/merge spans into
+    it and absorbs each partition's own span shard shipped back over the
+    result pipe.  ``profile=True`` runs a cProfile session inside each
+    forked worker and returns the picklable stats tables on
+    ``PdesOutcome.profiles`` (inline mode returns no shards — the caller's
+    own profiler already observes everything).
     """
     from repro.net.config import NetConfig
 
     if faults is not None:
         raise PdesError("fault injection perturbs arrivals; PDES runs are serial-only")
-    if view_tracer is not None:
-        raise PdesError("view tracing is not supported under PDES")
+    if view_trace and protocol == "mpi":
+        raise PdesError("view tracing needs a DSM protocol; mpi has no views")
     if protocol == "hlrc_d":
         raise PdesError(
             "hlrc_d needs an instantaneous home-assignment read "
@@ -811,6 +931,8 @@ def run_partitioned(
         raise PdesError(f"unknown PDES mode {mode!r} (use 'fork' or 'inline')")
     config = config if config is not None else app_module.default_config()
 
+    if host is not None:
+        host.begin("run", "setup")
     parts = partition_ranks(nprocs, workers)
     owner_of = {}
     for p, ranks in enumerate(parts):
@@ -819,16 +941,22 @@ def run_partitioned(
 
     want_oracle = bool(oracle)
     want_metrics = bool(metrics)
+    want_views = bool(view_trace)
+    host_trace = host is not None
 
     def make_builder(index: int):
         owned = parts[index]
         return lambda: _build_world(index, owned, app_module, protocol, nprocs,
                                     config, variant, netcfg, nodecfg, trace,
-                                    oracle=want_oracle, metrics=want_metrics)
+                                    oracle=want_oracle, metrics=want_metrics,
+                                    view_trace=want_views,
+                                    host_trace=host_trace)
 
     ports: list = []
     try:
         if mode == "inline":
+            if host is not None:
+                host.end()  # setup: inline build happens inside the port loop
             for p in range(len(parts)):
                 ports.append(_InlinePort(make_builder(p), want_output=(p == 0)))
         else:
@@ -843,17 +971,28 @@ def run_partitioned(
             try:
                 for p in range(len(parts)):
                     ports.append(
-                        _ForkPort(ctx, p, make_builder(p), want_output=(p == 0)))
+                        _ForkPort(ctx, p, make_builder(p), want_output=(p == 0),
+                                  profile=profile))
             finally:
                 gc.unfreeze()
+            if host is not None:
+                host.end()  # setup: GC freeze + fork of every partition
         finals, wstats = _drive(ports, owner_of, netcfg,
                                 has_oracles=(protocol != "mpi"),
-                                batching=batching, observer=observer)
+                                batching=batching, observer=observer, host=host)
     finally:
         for port in ports:
             port.close()
 
-    return _merge(finals, wstats, protocol, nprocs, len(parts), trace)
+    if host is not None:
+        host.begin("run", "merge")
+    outcome = _merge(finals, wstats, protocol, nprocs, len(parts), trace)
+    if host is not None:
+        host.end()
+        for f in finals:
+            if f.host is not None:
+                host.absorb(f.host)
+    return outcome
 
 
 def _merge(finals, wstats, protocol, nprocs, nparts, trace) -> PdesOutcome:
@@ -895,6 +1034,14 @@ def _merge(finals, wstats, protocol, nprocs, nparts, trace) -> PdesOutcome:
         from repro.obs.metrics import Metrics
 
         metrics = Metrics.merged([f.metrics for f in finals])
+    view_tracer = None
+    if finals and finals[0].view_tracer is not None:
+        from repro.tools.tracer import ViewTracer
+
+        view_tracer = ViewTracer.merged([f.view_tracer for f in finals])
+    profiles = None
+    if any(f.profile is not None for f in finals):
+        profiles = {f.index: f.profile for f in finals if f.profile is not None}
     return PdesOutcome(
         output=finals[0].output,
         stats=stats,
@@ -906,6 +1053,8 @@ def _merge(finals, wstats, protocol, nprocs, nparts, trace) -> PdesOutcome:
         tracer=tracer,
         oracle=oracle,
         metrics=metrics,
+        view_tracer=view_tracer,
+        profiles=profiles,
         timer_spills=sum(f.timer_spills for f in finals),
         elided_windows=wstats["elided_windows"],
         leased_windows=wstats["leased_windows"],

@@ -1,0 +1,253 @@
+"""The host-time observatory: wall-clock spans, breakdown, purity.
+
+:mod:`repro.obs.host` profiles *host* time (``time.perf_counter``, i.e.
+CLOCK_MONOTONIC) around the real work the simulated clock cannot see: the
+PDES coordinator's barrier waits and pipe I/O, the partition workers'
+execute/sync split, the sweep pool's queue waits.  The load-bearing claims:
+
+* **accounting closes** — for every process in a breakdown, the attributed
+  category seconds plus ``other`` equal the process's wall time exactly
+  (it's computed as the remainder), and the ``main`` total tracks the
+  externally measured wall clock within a tolerance;
+* **purity** — a profiled run's simulated observables are bit-identical to
+  an unprofiled run's (the profiler is an observer on the None-default
+  contract, like the tracer and metrics);
+* **export merges** — host spans render as extra Perfetto processes beside
+  the simulated trace and the merged document passes schema validation.
+"""
+
+import time
+
+import pytest
+
+from repro.obs.host import (
+    HostProfiler,
+    TOTAL,
+    format_host_breakdown,
+    host_breakdown,
+)
+
+
+# -- span mechanics ---------------------------------------------------------------
+
+
+def test_begin_end_records_span():
+    host = HostProfiler("t")
+    host.begin("lane", "work", "step")
+    host.end()
+    assert len(host.spans) == 1
+    proc, lane, cat, name, t0, t1, args = host.spans[0]
+    assert (proc, lane, cat, name) == ("t", "lane", "work", "step")
+    assert t1 >= t0
+
+
+def test_nested_spans_pop_innermost():
+    host = HostProfiler("t")
+    host.begin("lane", "outer")
+    host.begin("lane", "inner")
+    host.end()
+    host.end()
+    cats = sorted(s[2] for s in host.spans)
+    assert cats == ["inner", "outer"]
+    inner = next(s for s in host.spans if s[2] == "inner")
+    outer = next(s for s in host.spans if s[2] == "outer")
+    assert outer[4] <= inner[4] and inner[5] <= outer[5]
+
+
+def test_span_contextmanager_closes_on_error():
+    host = HostProfiler("t")
+    with pytest.raises(RuntimeError):
+        with host.span("lane", "work"):
+            raise RuntimeError("boom")
+    assert len(host.spans) == 1
+
+
+def test_end_without_begin_raises():
+    host = HostProfiler("t")
+    with pytest.raises(RuntimeError):
+        host.end()
+
+
+def test_add_span_and_absorb_cross_process():
+    parent = HostProfiler("main")
+    child = HostProfiler("worker")
+    child.begin("serve", "execute")
+    child.end()
+    parent.add_span("pool", "queue-wait", "cell", 1.0, 2.5, proc="sweep")
+    parent.absorb(child)
+    # procs() lists processes that recorded spans, sorted
+    assert parent.procs() == ["sweep", "worker"]
+    assert parent.seconds("queue-wait", proc="sweep") == pytest.approx(1.5)
+    assert parent.seconds("execute", proc="worker") >= 0.0
+
+
+# -- the breakdown invariant ------------------------------------------------------
+
+
+def test_breakdown_categories_sum_to_total_exactly():
+    host = HostProfiler("main")
+    host.add_span("run", TOTAL, TOTAL, 0.0, 10.0)
+    host.add_span("run", "barrier-wait", "w", 0.0, 6.0)
+    host.add_span("run", "route", "r", 6.0, 7.0)
+    down = host_breakdown(host)
+    b = down["main"]
+    assert b["total"] == pytest.approx(10.0)
+    assert b["seconds"]["barrier-wait"] == pytest.approx(6.0)
+    assert b["seconds"]["route"] == pytest.approx(1.0)
+    # the invariant: attributed + other == total, with no slack
+    assert sum(b["seconds"].values()) + b["other"] == pytest.approx(b["total"])
+    assert b["other"] == pytest.approx(3.0)
+
+
+def test_breakdown_envelope_fallback_without_total_span():
+    host = HostProfiler("main")
+    host.add_span("run", "execute", "e", 2.0, 5.0)
+    host.add_span("run", "verify", "v", 5.0, 6.0)
+    b = host_breakdown(host)["main"]
+    # no "total" span: wall is the envelope first-start..last-end
+    assert b["total"] == pytest.approx(4.0)
+    assert b["other"] == pytest.approx(0.0)
+
+
+def test_format_breakdown_renders_every_process():
+    host = HostProfiler("main")
+    host.add_span("run", TOTAL, TOTAL, 0.0, 2.0)
+    host.add_span("run", "execute", "e", 0.0, 1.0)
+    child = HostProfiler("partition-0")
+    child.add_span("serve", TOTAL, TOTAL, 0.0, 1.0)
+    host.absorb(child)
+    text = format_host_breakdown(host_breakdown(host))
+    assert "main" in text and "partition-0" in text
+    assert "execute" in text and "wall" in text
+
+
+# -- fork-mode accounting closes against the measured wall clock ------------------
+
+
+def test_fork_halo_ring_breakdown_accounts_for_wall_time():
+    """The ISSUE's worked example: the 256-rank halo ring under 2 forked
+    partitions.  The main process's breakdown total must track the wall
+    clock measured *outside* the profiler, and every process's categories
+    must sum to its own wall exactly."""
+    from repro.bench.pdes import HaloConfig, halo_app
+    from repro.sim.pdes import run_partitioned
+
+    host = HostProfiler("main")
+    config = HaloConfig(steps=4, halo_words=32, compute_seconds=50e-6)
+    t0 = time.perf_counter()
+    host.begin("run", TOTAL)
+    outcome = run_partitioned(
+        halo_app, protocol="mpi", nprocs=256, config=config,
+        workers=2, mode="fork", host=host,
+    )
+    host.end()
+    wall = time.perf_counter() - t0
+    assert outcome.workers == 2
+
+    down = host_breakdown(host)
+    assert "main" in down
+    assert {"partition-0", "partition-1"} <= set(down)
+    # the profiled total may only miss the perf_counter calls themselves
+    assert down["main"]["total"] == pytest.approx(wall, rel=0.05)
+    for proc, b in down.items():
+        assert sum(b["seconds"].values()) + b["other"] == pytest.approx(
+            b["total"], rel=1e-9
+        ), proc
+    # the coordinator's real work must be visible, not lumped into other
+    assert "barrier-wait" in down["main"]["seconds"]
+    assert down["main"]["other"] < down["main"]["total"] * 0.5
+    for p in ("partition-0", "partition-1"):
+        assert {"execute", "sync-wait"} <= set(down[p]["seconds"])
+
+
+def test_fork_profiled_run_is_bit_identical():
+    from repro.apps import APPS
+    from repro.apps.common import run_app
+
+    import hashlib
+    import json
+
+    def fp(result):
+        return hashlib.sha256(
+            json.dumps(result.table_row(), sort_keys=True).encode()
+        ).hexdigest()
+
+    plain = run_app(APPS["is"], "vc_sd", 8, pdes_workers=2, pdes_mode="fork")
+    host = HostProfiler("main")
+    profiled = run_app(
+        APPS["is"], "vc_sd", 8, pdes_workers=2, pdes_mode="fork", host=host,
+    )
+    assert fp(profiled) == fp(plain)
+    assert profiled.time == plain.time
+    assert host.spans  # and it actually recorded something
+
+
+# -- merged export ----------------------------------------------------------------
+
+
+def test_merged_chrome_trace_validates_and_separates_clock_domains():
+    from repro.apps import APPS
+    from repro.apps.common import run_app
+    from repro.obs import (
+        EventTracer,
+        merged_chrome_trace,
+        validate_chrome_trace,
+    )
+    from repro.obs.export import HOST_PID_BASE
+
+    tracer = EventTracer()
+    host = HostProfiler("main")
+    run_app(
+        APPS["is"], "vc_sd", 8, tracer=tracer, host=host,
+        pdes_workers=2, pdes_mode="inline",
+    )
+    doc = merged_chrome_trace(tracer, host)
+    validate_chrome_trace(doc)
+    pids = {e["pid"] for e in doc["traceEvents"] if "pid" in e}
+    sim_pids = {p for p in pids if p < HOST_PID_BASE}
+    host_pids = {p for p in pids if p >= HOST_PID_BASE}
+    assert sim_pids and host_pids  # both clock domains present, disjoint
+    names = {
+        e["args"]["name"]
+        for e in doc["traceEvents"]
+        if e.get("ph") == "M" and e.get("name") == "process_name"
+        and e["pid"] >= HOST_PID_BASE
+    }
+    assert any(n.startswith("host:") for n in names)
+
+
+# -- sweep purity against the committed matrix ------------------------------------
+
+
+def test_host_traced_sweep_matches_committed_fingerprints():
+    """--host-trace is non-perturbing across the whole 18-cell matrix: a
+    profiled, uncached sweep reproduces the committed BENCH_sweep.json
+    fingerprints bit for bit."""
+    import json as _json
+    import os
+
+    from repro.bench.sweep import default_cells, run_sweep
+
+    bench_path = os.path.join(os.path.dirname(__file__), "..", "..",
+                              "BENCH_sweep.json")
+    if not os.path.exists(bench_path):
+        pytest.skip("no committed BENCH_sweep.json in this checkout")
+    with open(bench_path) as fh:
+        committed = _json.load(fh)
+    want = {
+        (c["app"], c["protocol"], c["nprocs"], c["variant"]): c["fingerprint"]
+        for c in committed["cells"]
+    }
+
+    host = HostProfiler("main")
+    report = run_sweep(default_cells(), jobs=1, cache_dir=None,
+                       verify=False, host=host)
+    got = {
+        (c.cell.app, c.cell.protocol, c.cell.nprocs, c.cell.variant):
+            c.fingerprint()
+        for c in report.cells
+    }
+    assert got == want
+    # and the profiler saw one run span per executed cell
+    runs = [s for s in host.spans if s[2] == "run"]
+    assert len(runs) == len(report.cells)

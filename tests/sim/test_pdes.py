@@ -118,15 +118,16 @@ def test_refuses_hlrc_d():
         run_partitioned(APPS["is"], protocol="hlrc_d", nprocs=8)
 
 
-def test_refuses_faults_and_view_tracer():
-    # note: contention metrics and the consistency oracle are *supported*
-    # under PDES (per-partition shards merged in serial order); see
-    # tests/sim/test_pdes_observers.py
+def test_refuses_faults_and_mpi_view_trace():
+    # note: contention metrics, the consistency oracle AND the view tracer
+    # are *supported* under PDES (per-partition shards merged in serial
+    # order); see tests/sim/test_pdes_observers.py.  View tracing still
+    # refuses mpi, which has no views to trace.
     with pytest.raises(PdesError, match="fault"):
         run_partitioned(APPS["is"], protocol="lrc_d", nprocs=8, faults=object())
     with pytest.raises(PdesError, match="[Vv]iew"):
         run_partitioned(
-            APPS["is"], protocol="vc_sd", nprocs=8, view_tracer=object()
+            APPS["nn"], protocol="mpi", nprocs=8, view_trace=True
         )
 
 

@@ -79,6 +79,36 @@ def test_partitioned_metrics_alone(serial):
     assert metrics.snapshot() == serial_metrics.snapshot()
 
 
+@pytest.mark.parametrize("mode", ["inline", "fork"])
+def test_partitioned_view_tracer_matches_serial(mode, serial):
+    """The PR-8-era view-tracer refusal is lifted: per-partition log-mode
+    shards merge by simulated timestamp into the serial report."""
+    from repro.tools.tracer import ViewTracer
+
+    serial_result, _, _ = serial
+    serial_vt = ViewTracer()
+    ser = run_app(APPS["is"], "vc_sd", 8, view_tracer=serial_vt)
+    vt = ViewTracer()
+    pdes = run_app(
+        APPS["is"], "vc_sd", 8, view_tracer=vt,
+        pdes_workers=2, pdes_mode=mode,
+    )
+    assert pdes.verified
+    assert _fingerprint(pdes) == _fingerprint(ser) == _fingerprint(serial_result)
+
+    # the user-visible outputs — profile table, report text, advice — are
+    # bit-identical to serial; the raw event list is multiset-identical
+    # (ties at equal simulated timestamps may interleave differently)
+    assert vt.profiles == serial_vt.profiles
+    assert vt.report() == serial_vt.report()
+    assert vt.advice() == serial_vt.advice()
+    assert collections.Counter(
+        json.dumps(e, sort_keys=True) for e in vt.events
+    ) == collections.Counter(
+        json.dumps(e, sort_keys=True) for e in serial_vt.events
+    )
+
+
 def test_merged_metrics_requires_logged_shards():
     with pytest.raises(ValueError, match="logged"):
         Metrics.merged([Metrics()])

@@ -1,0 +1,101 @@
+"""Per-partition cProfile collection under the partitioned (PDES) driver.
+
+``repro profile --pdes-workers K`` used to profile only the coordinator: the
+forked partition workers' CPU time vanished from the printout.  Now each
+worker runs under its own ``cProfile.Profile`` (opt-in via
+``run_partitioned(..., profile=True)``), ships the picklable ``prof.stats``
+dict back over the result pipe, and the CLI merges coordinator + partition
+stats into one ``pstats`` table.  The claims:
+
+* fork mode returns one stats dict per partition, and those dicts contain
+  partition-side frames (functions executed only inside the worker);
+* inline mode returns ``profiles=None`` — the parent's profiler already
+  observes everything, a second layer would double-count;
+* profiling is an observer: simulated results stay bit-identical;
+* the CLI merge path works end to end.
+"""
+
+import hashlib
+import json
+import pstats
+import sys
+
+from repro.apps import APPS
+from repro.sim.pdes import run_partitioned
+
+
+def _fingerprint(outcome) -> str:
+    return hashlib.sha256(
+        json.dumps(outcome.output, sort_keys=True, default=repr).encode()
+    ).hexdigest()
+
+
+def test_fork_profile_collects_partition_frames():
+    plain = run_partitioned(
+        APPS["is"], protocol="vc_sd", nprocs=8, workers=2, mode="fork"
+    )
+    profiled = run_partitioned(
+        APPS["is"], protocol="vc_sd", nprocs=8, workers=2, mode="fork",
+        profile=True,
+    )
+    assert profiled.profiles is not None
+    assert sorted(profiled.profiles) == [0, 1]
+    for stats_dict in profiled.profiles.values():
+        # partition-side work must show up: frames from pdes.py functions
+        # that only execute inside the worker process
+        assert any(
+            key[0].endswith("pdes.py") for key in stats_dict
+        ), "no partition-side pdes.py frames in the shipped profile"
+
+    # profiling never perturbs the simulated run
+    assert profiled.time == plain.time
+    assert _fingerprint(profiled) == _fingerprint(plain)
+
+
+def test_inline_profile_returns_none():
+    outcome = run_partitioned(
+        APPS["is"], protocol="vc_sd", nprocs=8, workers=2, mode="inline",
+        profile=True,
+    )
+    # inline partitions run in-process: the caller's own profiler sees them
+    assert outcome.profiles is None
+
+
+def test_partition_stats_merge_into_pstats():
+    outcome = run_partitioned(
+        APPS["is"], protocol="vc_sd", nprocs=8, workers=2, mode="fork",
+        profile=True,
+    )
+    from repro.cli import _StatsCarrier
+
+    stats = pstats.Stats(_StatsCarrier(outcome.profiles[0]))
+    before = stats.total_calls
+    stats.add(_StatsCarrier(outcome.profiles[1]))
+    assert stats.total_calls > before
+
+
+def test_cli_profile_pdes_workers(capsys):
+    from repro.cli import main
+
+    code = main([
+        "profile", "is", "--protocol", "vc_sd", "--nprocs", "8",
+        "--pdes-workers", "2", "--top", "5",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "2 PDES partitions" in out
+    assert "partition profiles merged" in out
+    # the merged table must include worker-side frames: posix pipe reads
+    # happen in both parent and children, but _worker_main is child-only
+    assert "pdes.py" in out or "function calls" in out
+
+
+def test_cli_profile_serial_still_works(capsys):
+    from repro.cli import main
+
+    code = main([
+        "profile", "is", "--protocol", "vc_sd", "--nprocs", "4", "--top", "5",
+    ])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "simulated seconds" in out
