@@ -1,0 +1,161 @@
+"""Adversarial worst-case grid: searched fault plans per (app, protocol).
+
+The random-loss grid (``BENCH_faults.json``, :mod:`repro.bench.degradation`)
+samples the fault space; this bench *searches* it with
+:mod:`repro.faults.adversary` and commits, per protocol: the winning plan,
+its fitness trajectory, the delta-debugged (shrunk) plan inline, and — when
+the committed random-loss grid is on disk — the worst random cell for the
+same protocol, so the report shows how much a targeted adversary beats
+uniform noise.
+
+The whole grid is bit-reproducible for a fixed seed + budget (everything
+except the ``manifest`` block, which records host facts by design); the CI
+``adversarial-smoke`` job regenerates it and diffs against the committed
+file.  CLI: ``python -m repro adversary --grid`` or
+``python -m repro.bench.adversarial``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Optional, Sequence
+
+__all__ = [
+    "DEFAULT_ADVERSARIAL_OUTPUT",
+    "DEFAULT_BUDGET",
+    "DEFAULT_PROTOCOLS",
+    "DEFAULT_SEED",
+    "format_adversarial_grid",
+    "load_random_loss_worst",
+    "run_adversarial_grid",
+    "write_adversarial_report",
+]
+
+DEFAULT_ADVERSARIAL_OUTPUT = "BENCH_adversarial.json"
+DEFAULT_PROTOCOLS = ("lrc_d", "vc_d", "vc_sd")
+DEFAULT_BUDGET = 24
+DEFAULT_SEED = 11
+
+
+def load_random_loss_worst(path: str = "BENCH_faults.json") -> dict:
+    """Worst completed slowdown per protocol from the random-loss grid.
+
+    Returns ``{protocol: {"slowdown": ..., "loss_rate": ..., "time": ...}}``;
+    empty when the file is absent (the adversarial report then simply omits
+    the comparison)."""
+    try:
+        with open(path) as fh:
+            report = json.load(fh)
+    except (OSError, json.JSONDecodeError):
+        return {}
+    worst: dict[str, dict] = {}
+    for cell in report.get("grid", []):
+        if cell.get("failed") or cell.get("slowdown") is None:
+            continue
+        prev = worst.get(cell["protocol"])
+        if prev is None or cell["slowdown"] > prev["slowdown"]:
+            worst[cell["protocol"]] = {
+                "slowdown": cell["slowdown"],
+                "loss_rate": cell["loss_rate"],
+                "time": cell["time"],
+            }
+    return worst
+
+
+def run_adversarial_grid(
+    app: str = "is",
+    nprocs: int = 8,
+    protocols: Sequence[str] = DEFAULT_PROTOCOLS,
+    budget: int = DEFAULT_BUDGET,
+    seed: int = DEFAULT_SEED,
+    population: int = 6,
+    cache_dir: Optional[str] = None,
+    shrink: bool = True,
+    faults_report: str = "BENCH_faults.json",
+    log: Optional[Callable[[str], None]] = None,
+) -> dict:
+    """Search every protocol and return the report dict
+    (``BENCH_adversarial.json`` shape)."""
+    import time
+
+    from repro.bench.manifest import run_manifest
+    from repro.faults.adversary import search
+
+    t_start = time.perf_counter()
+    random_worst = load_random_loss_worst(faults_report)
+    grid: list[dict] = []
+    for protocol in protocols:
+        result = search(
+            app=app, protocol=protocol, nprocs=nprocs, budget=budget,
+            seed=seed, population=population, cache_dir=cache_dir,
+            shrink=shrink, log=log,
+        )
+        cell = result.to_json()
+        worst = random_worst.get(protocol)
+        if worst is not None:
+            cell["random_loss_worst"] = worst
+        grid.append(cell)
+    return {
+        "benchmark": "faults_adversarial",
+        "app": app,
+        "nprocs": nprocs,
+        "budget": budget,
+        "seed": seed,
+        "population": population,
+        "protocols": list(protocols),
+        "grid": grid,
+        "manifest": run_manifest(
+            config={"app": app, "nprocs": nprocs, "budget": budget,
+                    "seed": seed, "population": population,
+                    "protocols": list(protocols)},
+            wall_seconds=time.perf_counter() - t_start,
+        ),
+    }
+
+
+def format_adversarial_grid(report: dict) -> str:
+    """Terminal rendering: one row per protocol, searched vs random worst."""
+    lines = [
+        f"Adversarial grid — {report['app']} x {report['nprocs']}p "
+        f"(budget {report['budget']}, seed {report['seed']})",
+        f"{'protocol':<8} {'class':<12} {'magnitude':>9} {'slowdown':>9} "
+        f"{'random':>8} {'eps':>4} {'shrunk':>6}",
+    ]
+    for cell in report["grid"]:
+        best = cell["best"]
+        slowdown = best["slowdown"]
+        completed = cell.get("best_completed") or {}
+        if slowdown is None:
+            slowdown = completed.get("slowdown")
+        random_worst = (cell.get("random_loss_worst") or {}).get("slowdown")
+        shrunk = cell.get("shrunk") or {}
+        lines.append(
+            f"{cell['protocol']:<8} {best['class']:<12} "
+            f"{best['magnitude']:>9.3f} "
+            f"{(f'{slowdown:.3f}' if slowdown is not None else '-'):>9} "
+            f"{(f'{random_worst:.3f}' if random_worst is not None else '-'):>8} "
+            f"{best['episodes']:>4} "
+            f"{(str(shrunk.get('episodes')) if shrunk else '-'):>6}"
+        )
+    return "\n".join(lines)
+
+
+def write_adversarial_report(
+    report: dict, path: str = DEFAULT_ADVERSARIAL_OUTPUT
+) -> None:
+    with open(path, "w") as fh:
+        json.dump(report, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+
+
+def main() -> None:  # pragma: no cover - exercised via CLI
+    from repro.bench.sweep import DEFAULT_CACHE_DIR
+
+    report = run_adversarial_grid(cache_dir=DEFAULT_CACHE_DIR, log=print)
+    print(format_adversarial_grid(report))
+    write_adversarial_report(report)
+    print(f"wrote {DEFAULT_ADVERSARIAL_OUTPUT}")
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -196,6 +196,7 @@ def cell_key(
     trace: bool = False,
     pdes_workers: Optional[int] = None,
     check: bool = False,
+    faults: Optional[dict] = None,
 ) -> str:
     """Content-addressed cache key for one cell.
 
@@ -205,7 +206,11 @@ def cell_key(
     Partitioned (PDES) runs likewise key separately — the simulated results
     are bit-identical, but the host-side wall/throughput figures are not.
     Consistency-checked runs (``check``) key separately too: their results
-    carry the oracle verdict.
+    carry the oracle verdict.  ``faults`` (a ``FaultPlan.to_json()`` dict)
+    hashes the candidate fault plan into the key — the adversarial search
+    (:mod:`repro.faults.adversary`) funnels every candidate evaluation
+    through this cache, so search restarts and population duplicates recall
+    instead of re-running.
     """
     material = {
         "app": cell.app,
@@ -222,6 +227,8 @@ def cell_key(
         material["pdes_workers"] = pdes_workers
     if check:
         material["check"] = True
+    if faults is not None:
+        material["faults"] = faults
     return hashlib.sha256(
         json.dumps(material, sort_keys=True, default=repr).encode()
     ).hexdigest()

@@ -50,11 +50,24 @@ sessions over the PDES pipes and merges them with the coordinator's.
 ``list``
     Show the available applications, protocols, variants and tables.
 
-``run`` and ``trace`` accept ``--faults PLAN.json`` (a scripted
+``adversary APP``
+    Seeded, deterministic adversarial search over the fault-plan space
+    (:mod:`repro.faults.adversary`): evolve a :class:`repro.faults.FaultPlan`
+    that maximises damage to one protocol (``--protocol``, ``--budget``,
+    ``--seed``), delta-debug the winner to a 1-minimal plan, and print both.
+    ``--grid`` searches every protocol in ``--protocols`` and writes the
+    committed ``BENCH_adversarial.json`` report.  Exit code 4 if the search
+    finds a consistency violation (a protocol bug, the jackpot fitness
+    class).
+
+``run``, ``check`` and ``trace`` accept ``--faults PLAN.json`` (a scripted
 :class:`repro.faults.FaultPlan`) and ``--drop-prob P`` (seeded uniform
-random loss); see docs/robustness.md.  A run that cannot complete — retry
-budget exhausted or a fail-stop crash episode — prints a one-screen
-structured diagnostic and exits with code 3 instead of a traceback.
+random loss); see docs/robustness.md.  ``--faults-out PATH`` dumps the
+exact active plan before the run, so any failure leaves a one-command
+repro artifact behind.  A run that cannot complete — retry budget
+exhausted or a fail-stop crash episode — prints a one-screen structured
+diagnostic (including the active fault plan and seeds) and exits with
+code 3 instead of a traceback.
 """
 
 from __future__ import annotations
@@ -87,6 +100,21 @@ def _load_faults(args: argparse.Namespace):
         return FaultPlan.load(path)
     except (OSError, FaultPlanError) as exc:
         raise SystemExit(f"error: --faults {path}: {exc}") from exc
+
+
+def _dump_faults_out(args: argparse.Namespace, plan) -> None:
+    """Honour --faults-out: dump the exact active plan JSON.
+
+    Written *before* the run so even an aborted (or crashed) run leaves the
+    one-command repro artifact behind: ``--faults <dumped file>`` replays it.
+    """
+    out = getattr(args, "faults_out", None)
+    if not out:
+        return
+    from repro.faults import FaultPlan
+
+    (plan if plan is not None else FaultPlan()).dump(out)
+    print(f"wrote active fault plan to {out}")
 
 
 def _netcfg_override(args: argparse.Namespace):
@@ -236,6 +264,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         view_tracer = ViewTracer()
     oracle = _make_oracle(args)
     host = _make_host(args)
+    plan = _load_faults(args)
+    _dump_faults_out(args, plan)
     try:
         result = run_app(
             app,
@@ -248,7 +278,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             view_tracer=view_tracer,
             metrics=metrics,
             oracle=oracle,
-            faults=_load_faults(args),
+            faults=plan,
             pdes_workers=args.pdes_workers,
             pdes_mode=args.pdes_mode,
             host=host,
@@ -311,6 +341,8 @@ def _cmd_check(args: argparse.Namespace) -> int:
 
     oracle = AccessRecorder()
     aborted = False
+    plan = _load_faults(args)
+    _dump_faults_out(args, plan)
     try:
         result = run_app(
             app,
@@ -320,7 +352,7 @@ def _cmd_check(args: argparse.Namespace) -> int:
             verify=not args.no_verify,
             netcfg=_netcfg_override(args),
             oracle=oracle,
-            faults=_load_faults(args),
+            faults=plan,
             pdes_workers=args.pdes_workers,
             pdes_mode=args.pdes_mode,
         )
@@ -357,6 +389,8 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     metrics = Metrics() if (args.metrics or args.metrics_out) else None
     oracle = _make_oracle(args)
     host = _make_host(args)
+    plan = _load_faults(args)
+    _dump_faults_out(args, plan)
     try:
         result = run_app(
             app,
@@ -368,7 +402,7 @@ def _cmd_trace(args: argparse.Namespace) -> int:
             tracer=tracer,
             metrics=metrics,
             oracle=oracle,
-            faults=_load_faults(args),
+            faults=plan,
             pdes_workers=args.pdes_workers,
             pdes_mode=args.pdes_mode,
             host=host,
@@ -707,6 +741,90 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_adversary(args: argparse.Namespace) -> int:
+    """Adversarial fault search: one cell, or the whole --grid bench."""
+    import json
+
+    from repro.obs.oracle import EXIT_CONSISTENCY
+
+    cache_dir = None
+    if not args.no_cache:
+        from repro.bench.sweep import DEFAULT_CACHE_DIR
+
+        cache_dir = args.cache_dir or DEFAULT_CACHE_DIR
+    if args.grid:
+        from repro.bench.adversarial import (
+            DEFAULT_ADVERSARIAL_OUTPUT,
+            format_adversarial_grid,
+            run_adversarial_grid,
+            write_adversarial_report,
+        )
+
+        report = run_adversarial_grid(
+            app=args.app, nprocs=args.nprocs,
+            protocols=tuple(args.protocols), budget=args.budget,
+            seed=args.seed, population=args.population,
+            cache_dir=cache_dir, shrink=not args.no_shrink,
+            log=print if args.verbose else None,
+        )
+        print(format_adversarial_grid(report))
+        out = args.bench_out or DEFAULT_ADVERSARIAL_OUTPUT
+        write_adversarial_report(report, out)
+        print(f"wrote {out}")
+        jackpots = [c for c in report["grid"] if c["best"]["class"] == "consistency"]
+        if jackpots:
+            print(
+                f"error: adversary found consistency violations in "
+                f"{len(jackpots)} cell(s) — a protocol bug, not a slow cell",
+                file=sys.stderr,
+            )
+            return EXIT_CONSISTENCY
+        return 0
+    from repro.faults import FaultPlan
+    from repro.faults.adversary import search
+
+    result = search(
+        app=args.app, protocol=args.protocol, nprocs=args.nprocs,
+        budget=args.budget, seed=args.seed, population=args.population,
+        cache_dir=cache_dir, shrink=not args.no_shrink, log=print,
+    )
+    best = result.best
+    print()
+    print(
+        f"adversary — {args.app} on {args.protocol}, {args.nprocs} processors: "
+        f"{result.evals} plans evaluated (budget {result.budget}, "
+        f"seed {result.seed})"
+    )
+    print(
+        f"  baseline  {result.baseline_time:.6f} simulated s; winner class "
+        f"{best['class']}, magnitude {best['magnitude']}"
+        + (f" (slowdown {best['slowdown']}x)" if best["slowdown"] else "")
+    )
+    print(f"  winning plan ({best['episodes']} episode(s)):")
+    print("    " + json.dumps(best["plan"], sort_keys=True))
+    if result.shrunk is not None:
+        print(
+            f"  shrunk to {result.shrunk['episodes']} episode(s) "
+            f"({result.shrink_evals} shrink evals), class "
+            f"{result.shrunk['class']}, magnitude {result.shrunk['magnitude']}:"
+        )
+        print("    " + json.dumps(result.shrunk["plan"], sort_keys=True))
+    if args.plan_out:
+        FaultPlan.from_json(best["plan"]).dump(args.plan_out)
+        print(f"wrote winning plan to {args.plan_out}")
+    if args.shrunk_out and result.shrunk is not None:
+        FaultPlan.from_json(result.shrunk["plan"]).dump(args.shrunk_out)
+        print(f"wrote shrunk plan to {args.shrunk_out}")
+    if best["class"] == "consistency":
+        print(
+            "error: the winning plan produces consistency violations — "
+            "a protocol bug, not a slow cell",
+            file=sys.stderr,
+        )
+        return EXIT_CONSISTENCY
+    return 0
+
+
 def _cmd_list(_args: argparse.Namespace) -> int:
     print("applications:")
     for name in APPS:
@@ -751,6 +869,9 @@ def build_parser() -> argparse.ArgumentParser:
                        "(implies --check-consistency)")
     p_run.add_argument("--faults", default=None, metavar="PLAN.json",
                        help="install a scripted fault plan (docs/robustness.md)")
+    p_run.add_argument("--faults-out", default=None, metavar="PATH",
+                       help="dump the exact active fault plan JSON before the "
+                       "run (replayable with --faults PATH)")
     p_run.add_argument("--drop-prob", type=float, default=None, metavar="P",
                        help="seeded uniform random loss probability at the switch")
     p_run.add_argument("--drop-seed", type=int, default=None, metavar="SEED",
@@ -786,6 +907,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_check.add_argument("--faults", default=None, metavar="PLAN.json",
                          help="install a scripted fault plan; an aborted run's "
                          "partial history is still checked")
+    p_check.add_argument("--faults-out", default=None, metavar="PATH",
+                         help="dump the exact active fault plan JSON before "
+                         "the run (replayable with --faults PATH)")
     p_check.add_argument("--drop-prob", type=float, default=None, metavar="P",
                          help="seeded uniform random loss probability at the switch")
     p_check.add_argument("--drop-seed", type=int, default=None, metavar="SEED",
@@ -830,6 +954,9 @@ def build_parser() -> argparse.ArgumentParser:
                          "(implies --check-consistency)")
     p_trace.add_argument("--faults", default=None, metavar="PLAN.json",
                          help="install a scripted fault plan (docs/robustness.md)")
+    p_trace.add_argument("--faults-out", default=None, metavar="PATH",
+                         help="dump the exact active fault plan JSON before "
+                         "the run (replayable with --faults PATH)")
     p_trace.add_argument("--drop-prob", type=float, default=None, metavar="P",
                          help="seeded uniform random loss probability at the switch")
     p_trace.add_argument("--drop-seed", type=int, default=None, metavar="SEED",
@@ -952,6 +1079,47 @@ def build_parser() -> argparse.ArgumentParser:
                          "under the consistency oracle; exit 4 if any cell "
                          "has violations")
     p_sweep.set_defaults(fn=_cmd_sweep)
+
+    p_adv = sub.add_parser(
+        "adversary",
+        help="seeded adversarial search over the fault-plan space: find the "
+        "plan that hurts a protocol most (docs/robustness.md)",
+    )
+    p_adv.add_argument("app", nargs="?", default="is", choices=sorted(APPS))
+    p_adv.add_argument("--protocol", default="vc_d", choices=sorted(PROTOCOLS),
+                       help="protocol under attack (single-cell mode)")
+    p_adv.add_argument("--nprocs", type=int, default=8)
+    p_adv.add_argument("--budget", type=int, default=24, metavar="N",
+                       help="distinct fault plans to evaluate in the search "
+                       "(shrinking runs extra evaluations afterwards)")
+    p_adv.add_argument("--seed", type=int, default=11,
+                       help="search seed; fixed seed + budget reproduces the "
+                       "result bit-identically")
+    p_adv.add_argument("--population", type=int, default=6,
+                       help="evolutionary population size")
+    p_adv.add_argument("--no-shrink", action="store_true",
+                       help="skip the delta-debugging shrink of the winner")
+    p_adv.add_argument("--plan-out", default=None, metavar="PATH",
+                       help="write the winning plan JSON (replay with "
+                       "`check --faults PATH`)")
+    p_adv.add_argument("--shrunk-out", default=None, metavar="PATH",
+                       help="write the shrunk winning plan JSON")
+    p_adv.add_argument("--no-cache", action="store_true",
+                       help="ignore and don't write the result cache")
+    p_adv.add_argument("--cache-dir", default=None,
+                       help="result cache directory (default: .cache/sweep)")
+    p_adv.add_argument("--grid", action="store_true",
+                       help="search every protocol in --protocols and write "
+                       "the committed adversarial benchmark report")
+    p_adv.add_argument("--protocols", nargs="+",
+                       default=["lrc_d", "vc_d", "vc_sd"],
+                       choices=sorted(PROTOCOLS),
+                       help="protocols searched in --grid mode")
+    p_adv.add_argument("--bench-out", default=None, metavar="PATH",
+                       help="--grid report path (default BENCH_adversarial.json)")
+    p_adv.add_argument("--verbose", action="store_true",
+                       help="log per-evaluation progress in --grid mode")
+    p_adv.set_defaults(fn=_cmd_adversary)
 
     p_list = sub.add_parser("list", help="show apps, protocols and tables")
     p_list.set_defaults(fn=_cmd_list)

@@ -56,6 +56,8 @@ class RunFailure:
     # node id -> {"pending_acks": n, "pending_replies": n} for nodes with any
     pending_ops: dict = field(default_factory=dict)
     net: Optional[dict] = None  # NetStats snapshot at abort time
+    faults: Optional[dict] = None  # active FaultPlan (to_json form), if any
+    seeds: Optional[dict] = None  # {"faults_seed": ..., "drop_seed": ...}
 
     def to_json(self) -> dict:
         return {
@@ -68,6 +70,8 @@ class RunFailure:
             "attempts": self.attempts,
             "pending_ops": self.pending_ops,
             "net": self.net,
+            "faults": self.faults,
+            "seeds": self.seeds,
         }
 
 
@@ -105,10 +109,21 @@ def describe_failure(exc: BaseException, cluster) -> Optional[RunFailure]:
         return None
     sim = cluster.sim
     stats = cluster.stats
+    # embed the exact hostile inputs so the abort is one-command reproducible
+    # (dump via --faults-out, replay via --faults; docs/robustness.md)
+    injector = getattr(sim, "faults", None)
+    netcfg = getattr(cluster, "netcfg", None)
+    seeds: dict[str, Any] = {}
+    if injector is not None:
+        seeds["faults_seed"] = injector.plan.seed
+    if netcfg is not None:
+        seeds["drop_seed"] = netcfg.drop_seed
     common = {
         "sim_time": sim.now,
         "pending_ops": _pending_ops(cluster),
         "net": stats.snapshot() if hasattr(stats, "snapshot") else None,
+        "faults": injector.plan.to_json() if injector is not None else None,
+        "seeds": seeds or None,
     }
     if isinstance(cause, NodeCrashed):
         return RunFailure(
@@ -162,6 +177,17 @@ def format_failure(failure: RunFailure) -> str:
         if by_cause:
             causes = ", ".join(f"{k}={v}" for k, v in sorted(by_cause.items()))
             lines.append(f"  drops by cause     {causes}")
+    if failure.faults is not None:
+        n_eps = len(failure.faults.get("episodes", []))
+        seeds = failure.seeds or {}
+        seed_bits = ", ".join(f"{k}={v}" for k, v in sorted(seeds.items()))
+        lines.append(
+            f"  fault plan         {n_eps} episode(s), {seed_bits or 'no seeds'}"
+        )
+        lines.append(
+            "                     (dump with --faults-out PLAN.json, replay "
+            "with --faults PLAN.json)"
+        )
     lines.append(
         "  hint: raise max_retries / rexmit_timeout, enable backoff "
         "(backoff_factor > 1), or soften the fault plan"

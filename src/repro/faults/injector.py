@@ -74,12 +74,14 @@ class FaultInjector:
         if self.sim is not None:
             raise FaultPlanError("a FaultInjector can only be installed once")
         n = cluster.n
-        for ep in self.plan.episodes:
+        for i, ep in enumerate(self.plan.episodes):
             for attr in ("node", "src", "dst"):
                 v = getattr(ep, attr)
                 if v is not None and not (0 <= v < n):
                     raise FaultPlanError(
-                        f"{ep.kind}: {attr}={v} out of range for a {n}-node cluster"
+                        f"episodes[{i}].{attr}: {ep.kind}: {attr}={v} out of "
+                        f"range for a {n}-node cluster",
+                        field=attr,
                     )
         self.sim = cluster.sim
         # mutate the per-node shards (cluster.stats is a merged snapshot);

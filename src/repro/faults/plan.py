@@ -84,7 +84,23 @@ _SHARED_FIELDS = ("kind", "start", "end", "node", "src", "dst")
 
 
 class FaultPlanError(ValueError):
-    """A fault plan failed validation (unknown kind, bad window, bad knob)."""
+    """A fault plan failed validation (unknown kind, bad window, bad knob).
+
+    ``field`` names the offending episode field when one is identifiable;
+    plan-level validation prefixes it with the episode index to a full path
+    like ``episodes[3].drop_prob`` (the adversary's operator tests lean on
+    these paths to pinpoint which mutation produced an invalid plan).
+    """
+
+    def __init__(self, message: str, field: Optional[str] = None):
+        super().__init__(message)
+        self.field = field
+
+
+def _at_episode(exc: FaultPlanError, index: int) -> FaultPlanError:
+    """Re-raise helper: prefix an episode-level error with its plan path."""
+    path = f"episodes[{index}]" + (f".{exc.field}" if exc.field else "")
+    return FaultPlanError(f"{path}: {exc}", field=exc.field)
 
 
 @dataclass(frozen=True)
@@ -129,13 +145,17 @@ class Episode:
     def validate(self) -> None:
         if self.kind not in EPISODE_KINDS:
             raise FaultPlanError(
-                f"unknown episode kind {self.kind!r}; expected one of {EPISODE_KINDS}"
+                f"unknown episode kind {self.kind!r}; expected one of {EPISODE_KINDS}",
+                field="kind",
             )
         if not (self.start >= 0.0):
-            raise FaultPlanError(f"{self.kind}: start must be >= 0, got {self.start!r}")
+            raise FaultPlanError(
+                f"{self.kind}: start must be >= 0, got {self.start!r}", field="start"
+            )
         if not (self.end > self.start):
             raise FaultPlanError(
-                f"{self.kind}: empty window [{self.start!r}, {self.end!r})"
+                f"{self.kind}: empty window [{self.start!r}, {self.end!r})",
+                field="end",
             )
         allowed = set(_KIND_FIELDS[self.kind])
         for field in dataclasses.fields(self):
@@ -143,33 +163,43 @@ class Episode:
                 continue
             if getattr(self, field.name) != field.default:
                 raise FaultPlanError(
-                    f"{self.kind}: knob {field.name!r} is not valid for this kind"
+                    f"{self.kind}: knob {field.name!r} is not valid for this kind",
+                    field=field.name,
                 )
         for prob in ("drop_prob", "dup_prob", "reorder_prob"):
             v = getattr(self, prob)
             if not (0.0 <= v <= 1.0):
-                raise FaultPlanError(f"{self.kind}: {prob} must be in [0, 1], got {v!r}")
-        if self.latency_add < 0 or self.reorder_delay < 0:
-            raise FaultPlanError(f"{self.kind}: delays must be >= 0")
+                raise FaultPlanError(
+                    f"{self.kind}: {prob} must be in [0, 1], got {v!r}", field=prob
+                )
+        if self.latency_add < 0:
+            raise FaultPlanError(f"{self.kind}: delays must be >= 0", field="latency_add")
+        if self.reorder_delay < 0:
+            raise FaultPlanError(
+                f"{self.kind}: delays must be >= 0", field="reorder_delay"
+            )
         if self.bandwidth_factor < 1.0:
             raise FaultPlanError(
                 f"degrade: bandwidth_factor must be >= 1 (slower), "
-                f"got {self.bandwidth_factor!r}"
+                f"got {self.bandwidth_factor!r}",
+                field="bandwidth_factor",
             )
         if not (0.0 < self.buffer_factor <= 1.0):
             raise FaultPlanError(
-                f"buffer: buffer_factor must be in (0, 1], got {self.buffer_factor!r}"
+                f"buffer: buffer_factor must be in (0, 1], got {self.buffer_factor!r}",
+                field="buffer_factor",
             )
         if self.cpu_factor < 1.0:
             raise FaultPlanError(
-                f"slowdown: cpu_factor must be >= 1, got {self.cpu_factor!r}"
+                f"slowdown: cpu_factor must be >= 1, got {self.cpu_factor!r}",
+                field="cpu_factor",
             )
         if self.kind == "pause" and not math.isfinite(self.end):
-            raise FaultPlanError("pause: requires a finite end")
+            raise FaultPlanError("pause: requires a finite end", field="end")
         if self.kind in ("slowdown", "pause", "crash", "buffer") and self.node is None:
             # whole-cluster slowdowns are legal; crash must name its victim
             if self.kind == "crash":
-                raise FaultPlanError("crash: requires a node")
+                raise FaultPlanError("crash: requires a node", field="node")
 
     def to_json(self) -> dict:
         """Minimal dict: only non-default fields, always including ``kind``."""
@@ -184,15 +214,22 @@ class Episode:
                 out[field.name] = value
         return out
 
+    def replace(self, **changes: Any) -> "Episode":
+        """A copy with ``changes`` applied (mutation-operator workhorse)."""
+        return dataclasses.replace(self, **changes)
+
     @classmethod
     def from_json(cls, data: dict) -> "Episode":
         if not isinstance(data, dict) or "kind" not in data:
-            raise FaultPlanError(f"episode must be an object with a 'kind': {data!r}")
+            raise FaultPlanError(
+                f"episode must be an object with a 'kind': {data!r}", field="kind"
+            )
         known = {f.name for f in dataclasses.fields(cls)}
         unknown = set(data) - known
         if unknown:
             raise FaultPlanError(
-                f"{data['kind']}: unknown episode field(s) {sorted(unknown)}"
+                f"{data['kind']}: unknown episode field(s) {sorted(unknown)}",
+                field=sorted(unknown)[0],
             )
         ep = cls(**data)
         ep.validate()
@@ -215,8 +252,11 @@ class FaultPlan:
         object.__setattr__(self, "episodes", tuple(self.episodes))
 
     def validate(self) -> "FaultPlan":
-        for ep in self.episodes:
-            ep.validate()
+        for i, ep in enumerate(self.episodes):
+            try:
+                ep.validate()
+            except FaultPlanError as exc:
+                raise _at_episode(exc, i) from exc
         return self
 
     def by_kind(self, *kinds: str) -> tuple:
@@ -225,6 +265,26 @@ class FaultPlan:
     def extended(self, *episodes: Episode) -> "FaultPlan":
         """A new plan with ``episodes`` appended (same seed)."""
         return FaultPlan(self.episodes + tuple(episodes), seed=self.seed)
+
+    def replaced(self, index: int, episode: Episode) -> "FaultPlan":
+        """A new plan with ``episodes[index]`` swapped for ``episode``."""
+        episodes = list(self.episodes)
+        episodes[index] = episode
+        return FaultPlan(tuple(episodes), seed=self.seed)
+
+    def without(self, index: int) -> "FaultPlan":
+        """A new plan with ``episodes[index]`` removed."""
+        episodes = list(self.episodes)
+        del episodes[index]
+        return FaultPlan(tuple(episodes), seed=self.seed)
+
+    def reseeded(self, seed: int) -> "FaultPlan":
+        """The same schedule driven by a different fault-RNG seed."""
+        return FaultPlan(self.episodes, seed=seed)
+
+    def canonical(self) -> str:
+        """Deterministic JSON string — dedup/memo key for search engines."""
+        return json.dumps(self.to_json(), sort_keys=True)
 
     def to_json(self) -> dict:
         return {
@@ -241,9 +301,15 @@ class FaultPlan:
             raise FaultPlanError(f"unknown fault-plan field(s) {sorted(unknown)}")
         episodes = data.get("episodes", [])
         if not isinstance(episodes, list):
-            raise FaultPlanError("'episodes' must be a list")
+            raise FaultPlanError("'episodes' must be a list", field="episodes")
+        parsed = []
+        for i, ep in enumerate(episodes):
+            try:
+                parsed.append(Episode.from_json(ep))
+            except FaultPlanError as exc:
+                raise _at_episode(exc, i) from exc
         return cls(
-            episodes=tuple(Episode.from_json(ep) for ep in episodes),
+            episodes=tuple(parsed),
             seed=int(data.get("seed", 0)),
         ).validate()
 

@@ -1,0 +1,73 @@
+"""Adversarial benchmark report: grid shape, rendering, random-loss join."""
+
+import json
+
+from repro.bench.adversarial import (
+    format_adversarial_grid,
+    load_random_loss_worst,
+    run_adversarial_grid,
+    write_adversarial_report,
+)
+
+
+def test_load_random_loss_worst_missing_file(tmp_path):
+    assert load_random_loss_worst(str(tmp_path / "nope.json")) == {}
+
+
+def test_load_random_loss_worst_picks_max_per_protocol(tmp_path):
+    report = {
+        "grid": [
+            {"protocol": "vc_d", "loss_rate": 0.01, "slowdown": 3.0, "time": 9.0},
+            {"protocol": "vc_d", "loss_rate": 0.02, "slowdown": 40.0, "time": 120.0},
+            {"protocol": "lrc_d", "loss_rate": 0.02, "slowdown": 4.0, "time": 8.0},
+            {"protocol": "lrc_d", "loss_rate": 0.05, "slowdown": None,
+             "time": None, "failed": True},
+        ]
+    }
+    path = tmp_path / "BENCH_faults.json"
+    path.write_text(json.dumps(report))
+    worst = load_random_loss_worst(str(path))
+    assert worst["vc_d"] == {"slowdown": 40.0, "loss_rate": 0.02, "time": 120.0}
+    assert worst["lrc_d"]["slowdown"] == 4.0  # failed cell ignored
+
+
+def test_run_adversarial_grid_tiny(tmp_path):
+    report = run_adversarial_grid(
+        app="is", nprocs=4, protocols=("lrc_d",), budget=3, seed=3,
+        population=3, shrink=False,
+        faults_report=str(tmp_path / "absent.json"),
+    )
+    assert report["benchmark"] == "faults_adversarial"
+    assert report["protocols"] == ["lrc_d"]
+    (cell,) = report["grid"]
+    assert cell["protocol"] == "lrc_d"
+    assert cell["evals"] == 3
+    assert cell["best"]["magnitude"] > 1.0
+    assert "random_loss_worst" not in cell  # no random grid on disk
+    assert "manifest" in report
+
+    rendered = format_adversarial_grid(report)
+    assert "lrc_d" in rendered and "protocol" in rendered
+
+    out = tmp_path / "BENCH_adversarial.json"
+    write_adversarial_report(report, str(out))
+    assert json.loads(out.read_text())["grid"][0]["evals"] == 3
+
+
+def test_format_grid_handles_abort_and_random_join():
+    # fabricated report: abort winner (slowdown None) + random comparison
+    report = {
+        "app": "is", "nprocs": 8, "budget": 24, "seed": 11,
+        "grid": [{
+            "protocol": "vc_d",
+            "best": {"class": "abort", "magnitude": 2.5, "slowdown": None,
+                     "episodes": 2},
+            "best_completed": {"slowdown": 17.0},
+            "shrunk": {"episodes": 1},
+            "random_loss_worst": {"slowdown": 40.433},
+        }],
+    }
+    rendered = format_adversarial_grid(report)
+    assert "abort" in rendered
+    assert "17.000" in rendered  # falls back to best completed slowdown
+    assert "40.433" in rendered

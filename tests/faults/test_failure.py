@@ -124,3 +124,36 @@ def test_cli_benign_plan_still_succeeds(capsys, tmp_path):
     ) == 0
     out = capsys.readouterr().out
     assert "verified against sequential reference" in out
+
+
+# -- plan + seed embedding (replayable forensics) ---------------------------------
+
+
+def test_failure_embeds_active_plan_and_seeds():
+    plan = FaultPlan((Episode(kind="crash", node=1, start=0.005),), seed=99)
+    with pytest.raises(RunAborted) as exc_info:
+        run_app(APPS["is"], "vc_sd", 4, faults=plan)
+    failure = exc_info.value.failure
+    assert failure.faults == plan.to_json()
+    assert failure.seeds["faults_seed"] == 99
+    assert "drop_seed" in failure.seeds
+    doc = failure.to_json()
+    assert doc["faults"]["episodes"][0]["kind"] == "crash"
+    assert doc["seeds"]["faults_seed"] == 99
+    # the dumped plan is directly replayable
+    FaultPlan.from_json(failure.faults).validate()
+    text = format_failure(failure)
+    assert "fault plan" in text and "faults_seed=99" in text
+    assert "--faults-out" in text
+
+
+def test_failure_without_plan_omits_fault_block():
+    from repro.net.config import NetConfig
+
+    netcfg = NetConfig(random_drop_prob=1.0, rexmit_timeout=0.05, max_retries=2)
+    with pytest.raises(RunAborted) as exc_info:
+        run_app(APPS["is"], "vc_sd", 2, netcfg=netcfg)
+    failure = exc_info.value.failure
+    assert failure.faults is None
+    text = format_failure(failure)
+    assert "--faults-out" not in text and "faults_seed" not in text

@@ -164,3 +164,38 @@ def test_by_kind_and_extended():
 def test_empty_plan_is_legal():
     FaultPlan().validate()
     assert FaultPlan.from_json({}) == FaultPlan()
+
+
+# -- field-path error reporting ---------------------------------------------------
+
+
+def test_plan_errors_name_episode_index_and_field_path():
+    plan = FaultPlan((
+        Episode(kind="loss", drop_prob=0.1),
+        Episode(kind="loss", drop_prob=1.5),
+    ))
+    with pytest.raises(FaultPlanError, match=r"episodes\[1\]\.drop_prob"):
+        plan.validate()
+
+
+def test_from_json_errors_carry_field_path():
+    doc = {"episodes": [
+        {"kind": "loss", "drop_prob": 0.1},
+        {"kind": "loss", "drop_prob": 0.1},
+        {"kind": "slowdown", "node": 0, "cpu_factor": 0.5},
+    ]}
+    with pytest.raises(FaultPlanError, match=r"episodes\[2\]\.cpu_factor") as ei:
+        FaultPlan.from_json(doc)
+    assert ei.value.field == "cpu_factor"
+
+
+def test_unknown_field_error_names_it():
+    with pytest.raises(FaultPlanError, match=r"episodes\[0\]") as ei:
+        FaultPlan.from_json({"episodes": [{"kind": "loss", "drop_probb": 0.1}]})
+    assert ei.value.field == "drop_probb"
+
+
+def test_episode_error_field_attribute():
+    with pytest.raises(FaultPlanError) as ei:
+        Episode(kind="pause", node=0).validate()  # pause needs a finite end
+    assert ei.value.field == "end"

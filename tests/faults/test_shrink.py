@@ -1,0 +1,84 @@
+"""Delta-debugging shrinker: ddmin minimality and plan shrinking."""
+
+from repro.faults import Episode, FaultPlan
+from repro.faults.shrink import ddmin, shrink_plan
+
+
+# -- ddmin on plain sequences ----------------------------------------------------
+
+
+def test_ddmin_single_culprit():
+    # one item drives the predicate: ddmin must isolate exactly it
+    items = list(range(20))
+    result = ddmin(items, lambda subset: 13 in subset)
+    assert result == (13,)
+
+
+def test_ddmin_pair_of_culprits():
+    items = list(range(16))
+    result = ddmin(items, lambda subset: 3 in subset and 11 in subset)
+    assert result == (3, 11)
+
+
+def test_ddmin_preserves_relative_order():
+    items = ["a", "b", "c", "d", "e", "f"]
+    result = ddmin(items, lambda s: "e" in s and "b" in s)
+    assert result == ("b", "e")
+
+
+def test_ddmin_everything_needed_returns_all():
+    items = [1, 2, 3, 4]
+    result = ddmin(items, lambda subset: len(subset) == len(items))
+    assert result == (1, 2, 3, 4)
+
+
+def test_ddmin_never_proposes_empty():
+    proposed = []
+
+    def keep(subset):
+        proposed.append(subset)
+        return 0 in subset
+
+    ddmin([0, 1], keep)
+    assert all(len(s) > 0 for s in proposed)
+
+
+def test_ddmin_result_is_one_minimal():
+    # after ddmin, removing any single element must break the predicate
+    def keep(subset):
+        return 2 in subset and 7 in subset and 9 in subset
+
+    result = ddmin(list(range(12)), keep)
+    assert keep(result)
+    for i in range(len(result)):
+        assert not keep(result[:i] + result[i + 1:])
+
+
+# -- shrink_plan ------------------------------------------------------------------
+
+
+def _plan(*kinds, seed=5):
+    eps = tuple(Episode(kind=k, drop_prob=0.1) if k == "loss"
+                else Episode(kind=k, cpu_factor=2.0, node=0) for k in kinds)
+    return FaultPlan(eps, seed=seed)
+
+
+def test_shrink_plan_trivial_plans_unchanged():
+    empty = FaultPlan()
+    assert shrink_plan(empty, lambda p: True) is empty
+    one = _plan("loss")
+    assert shrink_plan(one, lambda p: True) is one
+
+
+def test_shrink_plan_drops_freeloaders_and_keeps_seed():
+    plan = _plan("loss", "slowdown", "loss", "slowdown", seed=42)
+
+    # only slowdown episodes matter to this predicate
+    def keep(candidate):
+        return any(ep.kind == "slowdown" for ep in candidate.episodes)
+
+    small = shrink_plan(plan, keep)
+    assert len(small.episodes) == 1
+    assert small.episodes[0].kind == "slowdown"
+    assert small.seed == 42
+    small.validate()

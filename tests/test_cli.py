@@ -257,3 +257,136 @@ def test_profile_command_prints_hot_functions(capsys, tmp_path):
 def test_profile_mpi_on_non_nn_rejected(capsys):
     assert main(["profile", "is", "--protocol", "mpi", "--nprocs", "2"]) == 2
     assert "no MPI version" in capsys.readouterr().err
+
+
+# -- fault-plan plumbing: --faults-out, failure diagnostics, exit precedence -----
+
+
+def _crash_plan(tmp_path):
+    from repro.faults import Episode, FaultPlan
+
+    path = tmp_path / "crash.json"
+    FaultPlan((Episode(kind="crash", node=0, start=0.5),), seed=3).dump(str(path))
+    return str(path)
+
+
+def test_run_faults_out_round_trips_plan(capsys, tmp_path):
+    import json
+
+    from repro.faults import Episode, FaultPlan
+
+    plan = tmp_path / "plan.json"
+    FaultPlan((Episode(kind="duplicate", dup_prob=0.1),), seed=9).dump(str(plan))
+    out = tmp_path / "active.json"
+    assert main([
+        "run", "sor", "--protocol", "vc_sd", "--nprocs", "2",
+        "--faults", str(plan), "--faults-out", str(out),
+    ]) == 0
+    assert "wrote active fault plan" in capsys.readouterr().out
+    assert json.loads(out.read_text()) == json.loads(plan.read_text())
+
+
+def test_run_faults_out_without_plan_dumps_empty(capsys, tmp_path):
+    import json
+
+    out = tmp_path / "active.json"
+    assert main([
+        "run", "sor", "--protocol", "vc_sd", "--nprocs", "2",
+        "--faults-out", str(out),
+    ]) == 0
+    assert json.loads(out.read_text())["episodes"] == []
+
+
+def test_check_faults_out_written_even_when_run_aborts(capsys, tmp_path):
+    # the dump happens *before* the run: an abort still leaves the artifact
+    out = tmp_path / "active.json"
+    code = main([
+        "check", "sor", "--protocol", "vc_sd", "--nprocs", "2",
+        "--faults", _crash_plan(tmp_path), "--faults-out", str(out),
+    ])
+    assert code == 3
+    assert out.exists()
+    err = capsys.readouterr().err
+    assert "fault plan" in err  # diagnostic embeds the active plan summary
+    assert "--faults-out" in err  # and points at the repro flags
+
+
+def test_check_faults_crash_aborts_with_exit_3(capsys, tmp_path):
+    assert main([
+        "check", "sor", "--protocol", "vc_sd", "--nprocs", "2",
+        "--faults", _crash_plan(tmp_path),
+    ]) == 3
+    # the partial history of an aborted run is still checked
+    assert "Consistency oracle" in capsys.readouterr().out
+
+
+def test_check_consistency_exit_4_beats_abort_exit_3(capsys, tmp_path, monkeypatch):
+    # pinned precedence: a consistency violation (4) outranks a run
+    # failure (3) — a protocol bug must never hide behind an abort
+    import repro.cli as cli
+
+    monkeypatch.setattr(
+        cli, "_check_consistency",
+        lambda oracle, protocol, nprocs, args, aborted=False: 4,
+    )
+    assert main([
+        "check", "sor", "--protocol", "vc_sd", "--nprocs", "2",
+        "--faults", _crash_plan(tmp_path),
+    ]) == 4
+
+
+def test_run_failure_diagnostic_embeds_plan_and_seeds(capsys, tmp_path):
+    assert main([
+        "run", "sor", "--protocol", "vc_sd", "--nprocs", "2",
+        "--faults", _crash_plan(tmp_path),
+    ]) == 3
+    err = capsys.readouterr().err
+    assert "fault plan" in err and "episode(s)" in err
+    assert "faults_seed=3" in err
+
+
+# -- adversary command ------------------------------------------------------------
+
+
+def test_adversary_single_cell(capsys, tmp_path):
+    import json
+
+    plan_out = tmp_path / "winner.json"
+    shrunk_out = tmp_path / "shrunk.json"
+    assert main([
+        "adversary", "is", "--protocol", "lrc_d", "--nprocs", "4",
+        "--budget", "4", "--seed", "3", "--population", "4", "--no-cache",
+        "--plan-out", str(plan_out), "--shrunk-out", str(shrunk_out),
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "baseline" in out and "winner class" in out
+    assert "winning plan" in out and "shrunk" in out
+    winner = json.loads(plan_out.read_text())
+    assert winner["episodes"]
+    shrunk = json.loads(shrunk_out.read_text())
+    assert len(shrunk["episodes"]) <= len(winner["episodes"])
+
+    from repro.faults import FaultPlan
+
+    FaultPlan.from_json(winner).validate()
+    FaultPlan.from_json(shrunk).validate()
+
+
+def test_adversary_grid_writes_report(capsys, tmp_path):
+    import json
+
+    out = tmp_path / "BENCH_adversarial.json"
+    assert main([
+        "adversary", "is", "--nprocs", "4", "--grid", "--protocols", "lrc_d",
+        "--budget", "3", "--seed", "3", "--population", "3", "--no-shrink",
+        "--no-cache", "--bench-out", str(out),
+    ]) == 0
+    printed = capsys.readouterr().out
+    assert "Adversarial grid" in printed
+    report = json.loads(out.read_text())
+    assert report["benchmark"] == "faults_adversarial"
+    assert report["grid"][0]["protocol"] == "lrc_d"
+
+
+def test_adversary_in_parser_help():
+    assert "adversary" in build_parser().format_help()
